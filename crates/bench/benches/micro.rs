@@ -1,0 +1,236 @@
+//! Criterion micro-benchmarks for every substrate: crypto primitives, the
+//! cache model, BMT operations, the AMNT history buffer, the buddy
+//! allocator, and the secure-memory controller's read/write paths.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_crypto(c: &mut Criterion) {
+    use amnt_crypto::{sha256, Aes128, CtrEngine, HmacSha256};
+    let mut g = c.benchmark_group("crypto");
+    let aes = Aes128::new(&[7u8; 16]);
+    g.bench_function("aes128_block", |b| {
+        let mut block = [0xABu8; 16];
+        b.iter(|| {
+            aes.encrypt_block(black_box(&mut block));
+        })
+    });
+    g.bench_function("sha256_64B", |b| {
+        let data = [0x5Au8; 64];
+        b.iter(|| sha256(black_box(&data)))
+    });
+    let hmac = HmacSha256::new(b"bench key");
+    g.bench_function("hmac_mac64_64B", |b| {
+        let data = [0xC3u8; 64];
+        b.iter(|| hmac.mac64(black_box(&data)))
+    });
+    let engine = CtrEngine::new(&[9u8; 16]);
+    g.bench_function("ctr_encrypt_block", |b| {
+        let data = [0x11u8; 64];
+        b.iter(|| engine.encrypt_block(black_box(0x1000), 5, 3, black_box(&data)))
+    });
+    g.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    use amnt_cache::{CacheConfig, SetAssocCache};
+    let mut g = c.benchmark_group("cache");
+    g.bench_function("access_hit", |b| {
+        let mut cache = SetAssocCache::new(CacheConfig::new(64 * 1024, 8, 64)).unwrap();
+        cache.fill(0x40, false);
+        b.iter(|| cache.access(black_box(0x40), false))
+    });
+    g.bench_function("fill_evict_cycle", |b| {
+        let mut cache = SetAssocCache::new(CacheConfig::new(64 * 1024, 8, 64)).unwrap();
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr = addr.wrapping_add(64);
+            cache.fill(black_box(addr), addr % 128 == 0)
+        })
+    });
+    g.bench_function("dirty_scan_64kB", |b| {
+        let mut cache = SetAssocCache::new(CacheConfig::new(64 * 1024, 8, 64)).unwrap();
+        for i in 0..1024u64 {
+            cache.fill(i * 64, i % 3 == 0);
+        }
+        b.iter(|| cache.dirty_lines().count())
+    });
+    g.finish();
+}
+
+fn bench_bmt(c: &mut Criterion) {
+    use amnt_bmt::{Bmt, BmtGeometry, CounterBlock};
+    use amnt_nvm::{Nvm, NvmConfig};
+    let mut g = c.benchmark_group("bmt");
+    g.bench_function("counter_encode_decode", |b| {
+        let mut ctr = CounterBlock::new();
+        for slot in 0..64 {
+            for _ in 0..(slot % 7) {
+                ctr.increment(slot);
+            }
+        }
+        b.iter(|| CounterBlock::decode(black_box(&ctr.encode())))
+    });
+    g.bench_function("compute_node_8_children", |b| {
+        let geometry = BmtGeometry::new(2 * 1024 * 1024).unwrap();
+        let bmt = Bmt::new(geometry, b"bench");
+        let mut nvm = Nvm::new(NvmConfig::gib(1));
+        for i in 0..8u64 {
+            let mut ctr = CounterBlock::new();
+            ctr.increment(i as usize % 64);
+            bmt.write_counter(&mut nvm, i, &ctr).unwrap();
+        }
+        let node = amnt_bmt::NodeId { level: bmt.geometry().bottom_level(), index: 0 };
+        b.iter(|| bmt.compute_node(black_box(&mut nvm), node).unwrap())
+    });
+    g.bench_function("build_full_2MiB", |b| {
+        let geometry = BmtGeometry::new(2 * 1024 * 1024).unwrap();
+        let bmt = Bmt::new(geometry, b"bench");
+        let mut nvm = Nvm::new(NvmConfig::gib(1));
+        let mut ctr = CounterBlock::new();
+        ctr.increment(0);
+        bmt.write_counter(&mut nvm, 0, &ctr).unwrap();
+        b.iter(|| bmt.build_full(black_box(&mut nvm)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_history_buffer(c: &mut Criterion) {
+    use amnt_core::HistoryBuffer;
+    let mut g = c.benchmark_group("history_buffer");
+    g.bench_function("record_resident_region", |b| {
+        let mut hb = HistoryBuffer::new(64);
+        for r in 0..64 {
+            hb.record(r);
+        }
+        let mut r = 0u64;
+        b.iter(|| {
+            r = (r + 1) % 64;
+            hb.record(black_box(r))
+        })
+    });
+    g.bench_function("record_with_replacement", |b| {
+        let mut hb = HistoryBuffer::new(64);
+        let mut r = 0u64;
+        b.iter(|| {
+            r += 1; // always a fresh region: worst case
+            hb.record(black_box(r))
+        })
+    });
+    g.finish();
+}
+
+fn bench_buddy(c: &mut Criterion) {
+    use amnt_os::BuddyAllocator;
+    let mut g = c.benchmark_group("buddy");
+    g.bench_function("alloc_free_page", |b| {
+        let mut buddy = BuddyAllocator::new(1 << 16);
+        b.iter(|| {
+            let pfn = buddy.alloc_pages(0).unwrap();
+            buddy.free_pages(black_box(pfn));
+        })
+    });
+    g.bench_function("restructure_4k_chunks", |b| {
+        let mut buddy = BuddyAllocator::new(1 << 14);
+        let pfns: Vec<u64> = (0..(1 << 14)).map(|_| buddy.alloc_pages(0).unwrap()).collect();
+        for &p in pfns.iter().step_by(4) {
+            buddy.free_pages(p);
+        }
+        b.iter(|| buddy.restructure(|pfn| black_box(pfn) / 512))
+    });
+    g.finish();
+}
+
+fn bench_controller(c: &mut Criterion) {
+    use amnt_core::{AmntConfig, ProtocolKind, SecureMemory, SecureMemoryConfig};
+    let mut g = c.benchmark_group("controller");
+    g.sample_size(40);
+    let setup = |kind: ProtocolKind| {
+        let cfg = SecureMemoryConfig::with_capacity(16 * 1024 * 1024);
+        let mut mem = SecureMemory::new(cfg, kind).unwrap();
+        // Warm the metadata cache over the target region.
+        for i in 0..256u64 {
+            mem.write_block(0, i * 64, &[1u8; 64]).unwrap();
+        }
+        mem
+    };
+    for kind in [
+        ("leaf", ProtocolKind::Leaf),
+        ("strict", ProtocolKind::Strict),
+        ("amnt", ProtocolKind::Amnt(AmntConfig::default())),
+    ] {
+        let mut mem = setup(kind.1);
+        let mut i = 0u64;
+        g.bench_function(format!("write_block_{}", kind.0), |b| {
+            b.iter(|| {
+                i = (i + 1) % 256;
+                mem.write_block(0, black_box(i * 64), &[i as u8; 64]).unwrap()
+            })
+        });
+    }
+    let mut mem = setup(ProtocolKind::Leaf);
+    let mut i = 0u64;
+    g.bench_function("read_block_verified", |b| {
+        b.iter(|| {
+            i = (i + 1) % 256;
+            mem.read_block(0, black_box(i * 64)).unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_extensions(c: &mut Criterion) {
+    use amnt_bmt::SgxTree;
+    use amnt_core::{HybridConfig, HybridMemory};
+    use amnt_nvm::{Nvm, NvmConfig, StartGap};
+    let mut g = c.benchmark_group("extensions");
+    g.sample_size(40);
+    g.bench_function("sgx_tree_bump", |b| {
+        let mut tree = SgxTree::new(4096, 0x10000, b"bench");
+        let mut nvm = Nvm::new(NvmConfig::gib(1));
+        let mut unit = 0u64;
+        b.iter(|| {
+            unit = (unit + 1) % 4096;
+            tree.bump(&mut nvm, black_box(unit)).unwrap()
+        })
+    });
+    g.bench_function("sgx_tree_verify", |b| {
+        let mut tree = SgxTree::new(4096, 0x10000, b"bench");
+        let mut nvm = Nvm::new(NvmConfig::gib(1));
+        for u in 0..64 {
+            tree.bump(&mut nvm, u).unwrap();
+        }
+        b.iter(|| tree.verify(&mut nvm, black_box(37)).unwrap())
+    });
+    g.bench_function("start_gap_write", |b| {
+        let mut sg = StartGap::new(0x20000, 1024, 8);
+        let mut nvm = Nvm::new(NvmConfig::gib(1));
+        let mut line = 0u64;
+        b.iter(|| {
+            line = (line + 7) % 1024;
+            sg.write_line(&mut nvm, black_box(line), &[3u8; 64]).unwrap()
+        })
+    });
+    g.bench_function("hybrid_write_scm", |b| {
+        let mut mem = HybridMemory::new(HybridConfig::new(1 << 20, 8 << 20)).unwrap();
+        let mut t = 0;
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 128;
+            t = mem.write_block(t, (1 << 20) + i * 64, &[i as u8; 64]).unwrap();
+            t
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_crypto,
+    bench_cache,
+    bench_bmt,
+    bench_history_buffer,
+    bench_buddy,
+    bench_controller,
+    bench_extensions
+);
+criterion_main!(benches);

@@ -1,0 +1,171 @@
+//! Simulated-cycle ablations for the design choices DESIGN.md §4 calls out:
+//! trusted-ancestor caching (metadata cache size), the AMNT history-buffer
+//! interval and capacity, the write-queue depth, and the split-counter
+//! overflow mechanism.
+//!
+//! ```text
+//! cargo run --release -p amnt-bench --bin ablations
+//! ```
+
+use amnt_bench::{print_table, ExperimentResult};
+use amnt_core::{
+    AmntConfig, ProtocolKind, SecureMemory, SecureMemoryConfig, WriteQueueConfig,
+};
+use amnt_sim::{run_single, MachineConfig, RunLength};
+use amnt_workloads::WorkloadModel;
+
+const MIB: u64 = 1024 * 1024;
+
+fn len() -> RunLength {
+    RunLength { accesses: 60_000, warmup: 6_000, seed: 3 }
+}
+
+/// Metadata cache size: the trusted-ancestor optimisation lives or dies by
+/// this (paper §2.1: performance is tied to metadata cache efficacy).
+fn metadata_cache_ablation(result: &mut ExperimentResult) {
+    let model = WorkloadModel::by_name("canneal").expect("catalogued");
+    let mut rows = Vec::new();
+    for kb in [4usize, 16, 64, 256] {
+        let mut cfg = MachineConfig::parsec_single();
+        cfg.secure = cfg.secure.with_metadata_cache_bytes(kb * 1024);
+        let r = run_single(&model, cfg, ProtocolKind::Leaf, len()).expect("run");
+        result.push("metadata_cache", &format!("{kb}kB_cycles"), r.cycles as f64);
+        result.push("metadata_cache", &format!("{kb}kB_hit"), r.metadata_hit_rate);
+        rows.push((
+            format!("md cache {kb} kB"),
+            vec![r.cycles as f64 / r.accesses as f64, r.metadata_hit_rate],
+        ));
+    }
+    print_table(
+        "Ablation: metadata cache size (canneal, leaf)",
+        &["cyc/access", "md hit rate"],
+        &rows,
+    );
+}
+
+/// AMNT tracking-interval length (Table 1 default: 64 writes).
+fn interval_ablation(result: &mut ExperimentResult) {
+    let model = WorkloadModel::by_name("fluidanimate").expect("catalogued");
+    let mut rows = Vec::new();
+    for interval in [8u32, 32, 64, 256, 1024] {
+        let cfg = MachineConfig::parsec_single();
+        let amnt = AmntConfig { interval_writes: interval, ..AmntConfig::default() };
+        let r = run_single(&model, cfg, ProtocolKind::Amnt(amnt), len()).expect("run");
+        result.push("interval", &format!("{interval}_cycles"), r.cycles as f64);
+        result.push("interval", &format!("{interval}_transitions"), r.subtree_transitions as f64);
+        rows.push((
+            format!("interval {interval}"),
+            vec![
+                r.cycles as f64 / r.accesses as f64,
+                r.subtree_hit_rate,
+                r.subtree_transitions as f64,
+            ],
+        ));
+    }
+    print_table(
+        "Ablation: AMNT tracking interval (fluidanimate)",
+        &["cyc/access", "subtree hit", "transitions"],
+        &rows,
+    );
+}
+
+/// History-buffer capacity (Table 1 default: 64 entries = 96 B).
+fn history_capacity_ablation(result: &mut ExperimentResult) {
+    let model = WorkloadModel::by_name("bodytrack").expect("catalogued");
+    let mut rows = Vec::new();
+    for entries in [4usize, 16, 64, 256] {
+        let cfg = MachineConfig::parsec_single();
+        let amnt = AmntConfig { history_entries: entries, ..AmntConfig::default() };
+        let r = run_single(&model, cfg, ProtocolKind::Amnt(amnt), len()).expect("run");
+        result.push("history", &format!("{entries}_hit"), r.subtree_hit_rate);
+        rows.push((
+            format!("{entries} entries ({} B)", entries * 2 * 6 / 8),
+            vec![r.subtree_hit_rate, r.subtree_transitions as f64],
+        ));
+    }
+    print_table(
+        "Ablation: history-buffer capacity (bodytrack)",
+        &["subtree hit", "transitions"],
+        &rows,
+    );
+}
+
+/// Write-queue depth under strict persistence (back-pressure model).
+fn queue_depth_ablation(result: &mut ExperimentResult) {
+    let model = WorkloadModel::by_name("xz").expect("catalogued");
+    let mut rows = Vec::new();
+    for depth in [4usize, 16, 32, 128] {
+        let mut cfg = MachineConfig::parsec_single();
+        cfg.secure.write_queue = WriteQueueConfig { banks: 8, depth };
+        let r = run_single(&model, cfg, ProtocolKind::Strict, len()).expect("run");
+        result.push("queue_depth", &format!("{depth}_cycles"), r.cycles as f64);
+        rows.push((
+            format!("depth {depth}"),
+            vec![
+                r.cycles as f64 / r.accesses as f64,
+                r.snapshot.timeline.queue_stall_cycles as f64 / r.accesses as f64,
+            ],
+        ));
+    }
+    print_table(
+        "Ablation: persist-queue depth (xz, strict)",
+        &["cyc/access", "stall/access"],
+        &rows,
+    );
+}
+
+/// Minor-counter width: hammer one block and count page re-encryptions.
+fn overflow_ablation(result: &mut ExperimentResult) {
+    let cfg = SecureMemoryConfig::with_capacity(4 * MIB);
+    let mut m = SecureMemory::new(cfg, ProtocolKind::Leaf).expect("controller");
+    let mut t = 0;
+    for i in 0..2000u64 {
+        t = m.write_block(t, 0x1000, &[i as u8; 64]).expect("write");
+    }
+    let overflows = m.stats().counter_overflows;
+    println!("\n=== Ablation: split-counter overflow ===");
+    println!("2000 writes to one block -> {overflows} page re-encryptions");
+    println!("(7-bit minors overflow every 128 writes: expected ~15)");
+    result.push("overflow", "reencryptions_per_2000_writes", overflows as f64);
+}
+
+/// Trusted-ancestor caching: the standard optimisation DESIGN.md §4.2 marks
+/// for ablation — cached nodes terminate verification walks early.
+fn trusted_ancestor_ablation(result: &mut ExperimentResult) {
+    let model = WorkloadModel::by_name("mcf").expect("catalogued");
+    let mut rows = Vec::new();
+    for caching in [true, false] {
+        let mut cfg = MachineConfig::parsec_single();
+        cfg.secure.trusted_ancestor_caching = caching;
+        let r = run_single(&model, cfg, ProtocolKind::Leaf, len()).expect("run");
+        result.push(
+            "trusted_ancestor",
+            if caching { "on_cycles" } else { "off_cycles" },
+            r.cycles as f64,
+        );
+        rows.push((
+            format!("caching {}", if caching { "on" } else { "off" }),
+            vec![
+                r.cycles as f64 / r.accesses as f64,
+                r.snapshot.controller.hashes as f64 / r.accesses as f64,
+            ],
+        ));
+    }
+    print_table(
+        "Ablation: trusted-ancestor caching (mcf, leaf)",
+        &["cyc/access", "hashes/access"],
+        &rows,
+    );
+}
+
+fn main() {
+    let mut result = ExperimentResult::new("ablations", "design-choice ablations");
+    trusted_ancestor_ablation(&mut result);
+    metadata_cache_ablation(&mut result);
+    interval_ablation(&mut result);
+    history_capacity_ablation(&mut result);
+    queue_depth_ablation(&mut result);
+    overflow_ablation(&mut result);
+    let path = result.save().expect("save results");
+    println!("\nsaved {}", path.display());
+}

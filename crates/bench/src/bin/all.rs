@@ -1,0 +1,51 @@
+//! Runs every experiment binary in paper order, regenerating all tables and
+//! figures and their JSON artifacts under `results/`.
+//!
+//! ```text
+//! cargo run --release -p amnt-bench --bin all
+//! ```
+
+use std::process::Command;
+
+const EXPERIMENTS: &[&str] = &[
+    "table1_config",
+    "fig3_hot_regions",
+    "fig4_parsec_single",
+    "fig5_parsec_multi",
+    "fig6_subtree_sweep",
+    "fig7_subtree_hit_rates",
+    "fig8_spec_multithread",
+    "table2_os_cost",
+    "table3_hw_overhead",
+    "table4_recovery",
+    "ablations",
+    "wear_analysis",
+    "crossover",
+];
+
+fn main() {
+    let exe = std::env::current_exe().expect("current executable path");
+    let dir = exe.parent().expect("executable directory");
+    let mut failures = Vec::new();
+    for name in EXPERIMENTS {
+        println!("\n################ {name} ################");
+        let status = Command::new(dir.join(name)).status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("{name} exited with {s}");
+                failures.push(*name);
+            }
+            Err(e) => {
+                eprintln!("{name} failed to launch: {e}");
+                failures.push(*name);
+            }
+        }
+    }
+    if failures.is_empty() {
+        println!("\nAll experiments completed; JSON artifacts in results/.");
+    } else {
+        eprintln!("\nFailed experiments: {failures:?}");
+        std::process::exit(1);
+    }
+}

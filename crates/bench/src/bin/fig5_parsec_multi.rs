@@ -1,0 +1,53 @@
+//! **Figure 5** — Normalized cycles, multiprogram PARSEC pairs.
+//!
+//! The paper's three temporally-aligned pairs run on the two-core machine;
+//! each protocol's cycles are normalised to the volatile baseline. `amnt++`
+//! adds the modified OS allocator (aged machine, biased free lists).
+
+use amnt_bench::{compare, figure_protocols, print_table, run_length, ExperimentResult};
+use amnt_core::{AmntConfig, ProtocolKind};
+use amnt_sim::{run_pair, with_amnt_plus, MachineConfig};
+use amnt_workloads::{multiprogram_pairs, WorkloadModel};
+
+fn main() {
+    let len = run_length();
+    let mut result = ExperimentResult::new("fig5", "cycles normalized to volatile");
+    let mut rows = Vec::new();
+
+    for (a, b) in multiprogram_pairs() {
+        let label = format!("{a}+{b}");
+        eprint!("fig5: {label:<28}");
+        let ma = WorkloadModel::by_name(a).expect("catalogued");
+        let mb = WorkloadModel::by_name(b).expect("catalogued");
+        let cfg = MachineConfig::parsec_multi();
+        let baseline =
+            run_pair(&ma, &mb, cfg.clone(), ProtocolKind::Volatile, len).expect("baseline");
+        let mut vals = Vec::new();
+        for (name, protocol) in figure_protocols() {
+            let r = run_pair(&ma, &mb, cfg.clone(), protocol, len).expect(name);
+            let norm = r.normalized_to(&baseline);
+            result.push(&label, name, norm);
+            vals.push(norm);
+            eprint!(" {name}={norm:.3}");
+        }
+        let pp_cfg = with_amnt_plus(cfg, AmntConfig::default());
+        let r = run_pair(&ma, &mb, pp_cfg, ProtocolKind::Amnt(AmntConfig::default()), len)
+            .expect("amnt++");
+        let norm = r.normalized_to(&baseline);
+        result.push(&label, "amnt++", norm);
+        vals.push(norm);
+        eprintln!(" amnt++={norm:.3}");
+        rows.push((label, vals));
+    }
+
+    let mut cols: Vec<&str> = figure_protocols().iter().map(|(n, _)| *n).collect();
+    cols.push("amnt++");
+    print_table("Figure 5: multiprogram PARSEC (normalized cycles)", &cols, &rows);
+
+    println!("\nPaper anchors (§6.2):");
+    compare("bodytrack+fluidanimate amnt vs leaf", 1.08, rows[0].1[4] / rows[0].1[0]);
+    compare("bodytrack+fluidanimate amnt++ vs leaf", 1.001, rows[0].1[5] / rows[0].1[0]);
+    println!("  swaptions+streamcluster and x264+freqmine: not memory-intensive, negligible overheads.");
+    let path = result.save().expect("save results");
+    println!("saved {}", path.display());
+}

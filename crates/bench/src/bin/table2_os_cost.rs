@@ -1,0 +1,51 @@
+//! **Table 2** — Impact of the modified operating system (AMNT++).
+//!
+//! For each multiprogram pair, runs AMNT with the stock allocator and with
+//! the AMNT++ allocator, reporting (a) normalized performance — cycles with
+//! the modified OS over cycles with the unmodified OS — and (b) instruction
+//! overhead — total (application + allocator) instructions with the
+//! modified OS over the unmodified OS.
+
+use amnt_bench::{compare, print_table, run_length, ExperimentResult};
+use amnt_core::{AmntConfig, ProtocolKind};
+use amnt_sim::{run_pair, with_amnt_plus, MachineConfig};
+use amnt_workloads::{multiprogram_pairs, WorkloadModel};
+
+fn main() {
+    let len = run_length();
+    let mut result = ExperimentResult::new("table2", "modified-OS / unmodified-OS ratio");
+    let mut rows = Vec::new();
+    let amnt = AmntConfig::default();
+
+    for (a, b) in multiprogram_pairs() {
+        let label = format!("{a}+{b}");
+        eprintln!("table2: {label}");
+        let ma = WorkloadModel::by_name(a).expect("catalogued");
+        let mb = WorkloadModel::by_name(b).expect("catalogued");
+        let cfg = MachineConfig::parsec_multi();
+        let base =
+            run_pair(&ma, &mb, cfg.clone(), ProtocolKind::Amnt(amnt), len).expect("unmodified");
+        let plus = run_pair(&ma, &mb, with_amnt_plus(cfg, amnt), ProtocolKind::Amnt(amnt), len)
+            .expect("modified");
+        let perf = plus.cycles as f64 / base.cycles as f64;
+        let instr = plus.total_instructions() as f64 / base.total_instructions() as f64;
+        result.push(&label, "normalized_performance", perf);
+        result.push(&label, "instruction_overhead", instr);
+        rows.push((label, vec![perf, instr]));
+    }
+
+    print_table(
+        "Table 2: modified OS impact (AMNT++ / AMNT)",
+        &["norm perf", "instr ovh"],
+        &rows,
+    );
+    println!("\nPaper values:");
+    compare("body+fluid  norm perf / instr ovh", 0.992, rows[0].1[0]);
+    compare("             (instr)", 1.004, rows[0].1[1]);
+    compare("swap+stream norm perf / instr ovh", 0.967, rows[1].1[0]);
+    compare("             (instr)", 1.021, rows[1].1[1]);
+    compare("x264+freq   norm perf / instr ovh", 1.013, rows[2].1[0]);
+    compare("             (instr)", 1.010, rows[2].1[1]);
+    let path = result.save().expect("save results");
+    println!("saved {}", path.display());
+}

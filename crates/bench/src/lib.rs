@@ -1,0 +1,171 @@
+//! # amnt-bench
+//!
+//! The evaluation harness: one binary per table/figure of the paper
+//! (`fig3_hot_regions` … `table4_recovery`, plus `all`), and shared
+//! plumbing — protocol sets, run-length knobs, table formatting, geometric
+//! means, and JSON result dumps under `results/`.
+//!
+//! Run any experiment with, e.g.:
+//!
+//! ```text
+//! cargo run --release -p amnt-bench --bin fig4_parsec_single
+//! ```
+//!
+//! Environment knobs: `AMNT_ACCESSES` (per-core measured accesses),
+//! `AMNT_WARMUP`, `AMNT_SEED`.
+
+#![forbid(unsafe_code)]
+
+use amnt_core::{AmntConfig, AnubisConfig, BmfConfig, ProtocolKind};
+use amnt_sim::{RunLength, SimReport};
+use serde::Serialize;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// Measured run length, overridable from the environment.
+pub fn run_length() -> RunLength {
+    let get = |k: &str, d: u64| {
+        std::env::var(k).ok().and_then(|v| v.parse().ok()).unwrap_or(d)
+    };
+    RunLength {
+        accesses: get("AMNT_ACCESSES", 150_000),
+        warmup: get("AMNT_WARMUP", 15_000),
+        seed: get("AMNT_SEED", 1),
+    }
+}
+
+/// The protocol set the paper's runtime figures compare (order matches the
+/// figure legends). `amnt++` is the AMNT protocol plus the modified OS and
+/// is handled by the runners, not a distinct [`ProtocolKind`].
+pub fn figure_protocols() -> Vec<(&'static str, ProtocolKind)> {
+    vec![
+        ("leaf", ProtocolKind::Leaf),
+        ("strict", ProtocolKind::Strict),
+        ("anubis", ProtocolKind::Anubis(AnubisConfig::default())),
+        ("bmf", ProtocolKind::Bmf(BmfConfig::default())),
+        ("amnt", ProtocolKind::Amnt(AmntConfig::default())),
+    ]
+}
+
+/// Geometric mean of positive samples.
+pub fn gmean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// One cell of a result table, serialised to JSON.
+#[derive(Debug, Clone, Serialize)]
+pub struct Cell {
+    /// Row label (benchmark / scenario).
+    pub row: String,
+    /// Column label (protocol / configuration).
+    pub col: String,
+    /// Measured value.
+    pub value: f64,
+}
+
+/// A complete experiment result, serialised to `results/<id>.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExperimentResult {
+    /// Experiment id ("fig4", "table2", ...).
+    pub id: String,
+    /// What the values mean ("cycles normalized to volatile", ...).
+    pub metric: String,
+    /// All cells.
+    pub cells: Vec<Cell>,
+}
+
+impl ExperimentResult {
+    /// Creates an empty result.
+    pub fn new(id: &str, metric: &str) -> Self {
+        ExperimentResult { id: id.to_string(), metric: metric.to_string(), cells: Vec::new() }
+    }
+
+    /// Adds one cell.
+    pub fn push(&mut self, row: &str, col: &str, value: f64) {
+        self.cells.push(Cell { row: row.to_string(), col: col.to_string(), value });
+    }
+
+    /// Writes the JSON artifact under `results/` and returns the path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save(&self) -> std::io::Result<PathBuf> {
+        let dir = results_dir();
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{}.json", self.id));
+        let mut f = std::fs::File::create(&path)?;
+        let json = serde_json::to_string_pretty(self).expect("serialisable");
+        f.write_all(json.as_bytes())?;
+        Ok(path)
+    }
+}
+
+/// `results/` under the workspace root (or the current directory).
+pub fn results_dir() -> PathBuf {
+    let base = std::env::var("CARGO_MANIFEST_DIR")
+        .map(|p| PathBuf::from(p).join("../.."))
+        .unwrap_or_else(|_| PathBuf::from("."));
+    base.join("results")
+}
+
+/// Pretty-prints a row-major table: rows × columns of values.
+pub fn print_table(title: &str, cols: &[&str], rows: &[(String, Vec<f64>)]) {
+    println!("\n=== {title} ===");
+    print!("{:<22}", "");
+    for c in cols {
+        print!("{c:>10}");
+    }
+    println!();
+    for (name, vals) in rows {
+        print!("{name:<22}");
+        for v in vals {
+            if v.is_nan() {
+                print!("{:>10}", "-");
+            } else {
+                print!("{v:>10.3}");
+            }
+        }
+        println!();
+    }
+}
+
+/// Prints a paper-vs-measured comparison line.
+pub fn compare(label: &str, paper: f64, measured: f64) {
+    println!("  {label:<44} paper {paper:>10.3}   measured {measured:>10.3}");
+}
+
+/// Extracts (normalized cycles vs `baseline`) from a report.
+pub fn normalized(report: &SimReport, baseline: &SimReport) -> f64 {
+    report.normalized_to(baseline)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gmean_of_constants() {
+        assert!((gmean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert!((gmean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!(gmean(&[]).is_nan());
+    }
+
+    #[test]
+    fn result_roundtrips_to_json() {
+        let mut r = ExperimentResult::new("test", "unitless");
+        r.push("row", "col", 1.25);
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(json.contains("\"test\""));
+        assert!(json.contains("1.25"));
+    }
+
+    #[test]
+    fn figure_protocols_match_legends() {
+        let names: Vec<&str> = figure_protocols().iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, vec!["leaf", "strict", "anubis", "bmf", "amnt"]);
+    }
+}

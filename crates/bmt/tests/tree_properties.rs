@@ -1,0 +1,82 @@
+//! Property-based tests over whole-tree operations.
+
+use amnt_bmt::{Bmt, BmtGeometry, NodeId, PAGE_SIZE};
+use amnt_nvm::{Nvm, NvmConfig};
+use proptest::prelude::*;
+
+fn setup(pages: u64) -> (Bmt, Nvm) {
+    let geometry = BmtGeometry::new(pages * PAGE_SIZE).expect("valid");
+    (Bmt::new(geometry, b"prop key"), Nvm::new(NvmConfig::gib(1)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// After arbitrary counter churn, a full build always verifies, and any
+    /// subtree rebuild leaves the tree equivalent to a full rebuild.
+    #[test]
+    fn subtree_rebuild_equals_full_rebuild(
+        pages in 16u64..600,
+        updates in prop::collection::vec((0u64..600, 0usize..64), 1..40),
+        subtree_seed in any::<u64>(),
+    ) {
+        let (bmt, mut nvm) = setup(pages);
+        for (idx, slot) in updates {
+            let idx = idx % pages;
+            let mut c = bmt.read_counter(&mut nvm, idx).unwrap();
+            c.increment(slot);
+            bmt.write_counter(&mut nvm, idx, &c).unwrap();
+        }
+        let root_full = bmt.build_full(&mut nvm).unwrap();
+        prop_assert!(bmt.verify_full(&mut nvm, &root_full).unwrap());
+
+        // More churn, then rebuild only the subtree containing it.
+        let g = bmt.geometry().clone();
+        let victim = subtree_seed % g.counter_blocks();
+        let mut c = bmt.read_counter(&mut nvm, victim).unwrap();
+        c.increment((subtree_seed % 64) as usize);
+        bmt.write_counter(&mut nvm, victim, &c).unwrap();
+        if g.bottom_level() >= 2 {
+            let level = 2 + (subtree_seed % (g.bottom_level() as u64 - 1)) as u32;
+            let sub = g.ancestor_at_level(victim, level);
+            bmt.rebuild_subtree(&mut nvm, sub).unwrap();
+            // Folding the rebuilt subtree into its ancestors reproduces the
+            // full rebuild exactly.
+            let via_subtree_then_full = bmt.build_full(&mut nvm).unwrap();
+            let mut nvm2 = nvm.clone();
+            let direct = bmt.build_full(&mut nvm2).unwrap();
+            prop_assert_eq!(via_subtree_then_full, direct);
+        }
+    }
+
+    /// Any single bit flip in a touched counter is caught by full
+    /// verification against an honest root.
+    #[test]
+    fn bit_flips_in_counters_always_detected(
+        pages in 16u64..200,
+        victim in any::<u64>(),
+        bit in 0u8..8,
+        byte in 0u64..64,
+    ) {
+        let (bmt, mut nvm) = setup(pages);
+        let g = bmt.geometry().clone();
+        // Touch every 5th counter so the tree is non-trivial.
+        for idx in (0..pages).step_by(5) {
+            let mut c = bmt.read_counter(&mut nvm, idx).unwrap();
+            c.increment((idx % 64) as usize);
+            bmt.write_counter(&mut nvm, idx, &c).unwrap();
+        }
+        let root = bmt.build_full(&mut nvm).unwrap();
+        let victim = (victim % pages.div_ceil(5)) * 5; // a touched counter
+        nvm.tamper_flip_bit(g.counter_addr(victim.min(pages - 1)) + byte, bit);
+        prop_assert!(!bmt.verify_full(&mut nvm, &root).unwrap());
+    }
+
+    /// NodeId display is stable.
+    #[test]
+    fn node_display_roundtrip(level in 1u32..6, index in 0u64..4096) {
+        let id = NodeId { level, index };
+        let shown = format!("{id}");
+        prop_assert_eq!(shown, format!("L{}#{}", level, index));
+    }
+}

@@ -1,0 +1,90 @@
+//! Hit/miss/eviction accounting for cache models.
+
+/// Access statistics accumulated by a [`crate::SetAssocCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Read accesses that hit.
+    pub read_hits: u64,
+    /// Read accesses that missed.
+    pub read_misses: u64,
+    /// Write accesses that hit.
+    pub write_hits: u64,
+    /// Write accesses that missed.
+    pub write_misses: u64,
+    /// Total hits (reads + writes).
+    pub hits: u64,
+    /// Total misses (reads + writes).
+    pub misses: u64,
+    /// Lines displaced by fills.
+    pub evictions: u64,
+    /// Displaced lines that were dirty (writebacks).
+    pub dirty_evictions: u64,
+}
+
+impl CacheStats {
+    pub(crate) fn record(&mut self, is_write: bool, hit: bool) {
+        match (is_write, hit) {
+            (false, true) => {
+                self.read_hits += 1;
+                self.hits += 1;
+            }
+            (false, false) => {
+                self.read_misses += 1;
+                self.misses += 1;
+            }
+            (true, true) => {
+                self.write_hits += 1;
+                self.hits += 1;
+            }
+            (true, false) => {
+                self.write_misses += 1;
+                self.misses += 1;
+            }
+        }
+    }
+
+    /// Total accesses recorded.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit rate in `[0, 1]`; `1.0` for an untouched cache.
+    ///
+    /// ```
+    /// use amnt_cache::CacheStats;
+    /// assert_eq!(CacheStats::default().hit_rate(), 1.0);
+    /// ```
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.accesses();
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_tallies_each_quadrant() {
+        let mut s = CacheStats::default();
+        s.record(false, true);
+        s.record(false, false);
+        s.record(true, true);
+        s.record(true, false);
+        assert_eq!(s.read_hits, 1);
+        assert_eq!(s.read_misses, 1);
+        assert_eq!(s.write_hits, 1);
+        assert_eq!(s.write_misses, 1);
+        assert_eq!(s.accesses(), 4);
+        assert_eq!(s.hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn empty_stats_have_unit_hit_rate() {
+        assert_eq!(CacheStats::default().hit_rate(), 1.0);
+    }
+}

@@ -1,0 +1,1226 @@
+//! The secure-memory controller (memory encryption engine).
+//!
+//! [`SecureMemory`] sits where the paper's hardware MEE sits: between the
+//! last-level cache and the PCM device. Every data read is decrypted and
+//! integrity-verified (data HMAC + BMT walk up to the first trusted
+//! ancestor); every data write bumps the block's split counter, re-encrypts,
+//! re-MACs, eagerly updates the ancestral tree path, and persists whatever
+//! the active [`ProtocolKind`] requires.
+//!
+//! ## Modelling contract
+//!
+//! * The NVM always holds the *logically current* bytes; a side table
+//!   ([`SecureMemory::crash`] uses it) remembers the *last persisted* image
+//!   of every dirty metadata line, so a crash rolls dirty lines back to
+//!   exactly what a real device would hold.
+//! * A metadata line resident in the metadata cache is trusted; verification
+//!   walks stop at the first cached ancestor, the AMNT subtree register, a
+//!   BMF persistent root, or the on-chip root register.
+//! * All-zero metadata is the device's factory state: a zero stored MAC over
+//!   an all-zero child verifies vacuously (secure boot initialises real
+//!   hardware; zeroing an initialised region still trips its ancestors).
+
+use crate::config::SecureMemoryConfig;
+use crate::error::IntegrityError;
+use crate::protocol::{AmntState, AnubisState, BmfState, OsirisState, ProtocolKind};
+use crate::protocol::ProtocolState;
+use crate::stats::{ControllerStats, StatsSnapshot};
+use crate::timing::MemoryTimeline;
+use crate::untimed::NvmUntimed;
+use amnt_bmt::{
+    set_slot, slot_of, Bmt, BmtGeometry, CounterBlock, IncrementOutcome, NodeBytes, NodeId,
+    PAGE_SIZE, TREE_ARITY,
+};
+use amnt_cache::SetAssocCache;
+use amnt_crypto::CtrEngine;
+use amnt_nvm::{Nvm, NvmConfig};
+use std::collections::HashMap;
+
+/// Size of a data block in bytes.
+pub const BLOCK_SIZE: usize = 64;
+
+/// The secure-memory controller.
+///
+/// # Examples
+///
+/// ```
+/// use amnt_core::{ProtocolKind, SecureMemory, SecureMemoryConfig};
+///
+/// let cfg = SecureMemoryConfig::with_capacity(2 * 1024 * 1024);
+/// let mut mem = SecureMemory::new(cfg, ProtocolKind::Leaf)?;
+/// mem.write_block(0, 0x1000, &[42u8; 64])?;
+/// let (data, _done) = mem.read_block(1_000, 0x1000)?;
+/// assert_eq!(data, [42u8; 64]);
+/// # Ok::<(), amnt_core::IntegrityError>(())
+/// ```
+#[derive(Debug)]
+pub struct SecureMemory {
+    config: SecureMemoryConfig,
+    kind: ProtocolKind,
+    nvm: Nvm,
+    bmt: Bmt,
+    engine: CtrEngine,
+    metadata_cache: SetAssocCache,
+    timeline: MemoryTimeline,
+    /// On-chip non-volatile root register: the level-1 node image.
+    root_register: NodeBytes,
+    /// Last-persisted images of currently-dirty metadata lines.
+    persisted_images: HashMap<u64, NodeBytes>,
+    protocol: ProtocolState,
+    /// Base of the auxiliary region (Anubis shadow table) in NVM.
+    aux_base: u64,
+    stats: ControllerStats,
+    crashed: bool,
+}
+
+/// What kind of metadata child a verification walk starts from.
+#[derive(Clone, Copy)]
+enum ChildRef {
+    Counter(u64),
+    Node(NodeId),
+}
+
+impl SecureMemory {
+    /// Builds a controller over a fresh (all-zero) device.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IntegrityError::Device`] for impossible geometry.
+    pub fn new(config: SecureMemoryConfig, kind: ProtocolKind) -> Result<Self, IntegrityError> {
+        let geometry = BmtGeometry::new(config.data_capacity)
+            .map_err(|_| IntegrityError::OutOfRange { addr: config.data_capacity })?;
+        let metadata_cache = SetAssocCache::new(config.metadata_cache)
+            .map_err(|_| IntegrityError::OutOfRange { addr: 0 })?;
+        let aux_base = geometry.total_size().next_multiple_of(PAGE_SIZE);
+        let aux_bytes = (metadata_cache.config().lines() as u64) * 8;
+        let nvm_capacity = (aux_base + aux_bytes).next_multiple_of(PAGE_SIZE);
+        let nvm = Nvm::new(NvmConfig {
+            capacity_bytes: nvm_capacity,
+            ..NvmConfig::paper_default()
+        });
+        let timeline = MemoryTimeline::new(config.timing, config.write_queue);
+        let bottom = geometry.bottom_level();
+        let protocol = match kind {
+            ProtocolKind::Volatile => ProtocolState::Volatile,
+            ProtocolKind::Strict => ProtocolState::Strict,
+            ProtocolKind::Leaf => ProtocolState::Leaf,
+            ProtocolKind::Plp => ProtocolState::Plp,
+            ProtocolKind::Battery(c) => ProtocolState::Battery(c),
+            ProtocolKind::Osiris(c) => ProtocolState::Osiris(OsirisState::new(c)),
+            ProtocolKind::Anubis(c) => {
+                ProtocolState::Anubis(AnubisState::new(c, metadata_cache.config().lines()))
+            }
+            ProtocolKind::Bmf(c) => {
+                let mut state = BmfState::new(c);
+                let seed = BmfState::seed_level(c.capacity, bottom, |l| geometry.level_size(l));
+                for index in 0..geometry.level_size(seed) {
+                    // A fresh tree is all-zero, so zero images are current.
+                    state.roots.insert(
+                        NodeId { level: seed, index },
+                        crate::protocol::bmf_entry([0u8; 64]),
+                    );
+                }
+                ProtocolState::Bmf(state)
+            }
+            ProtocolKind::Amnt(c) => ProtocolState::Amnt(AmntState::new(c, bottom)),
+        };
+        Ok(SecureMemory {
+            bmt: Bmt::new(geometry, &config.integrity_key),
+            engine: CtrEngine::new(&config.encryption_key),
+            metadata_cache,
+            timeline,
+            root_register: [0u8; 64],
+            persisted_images: HashMap::new(),
+            protocol,
+            aux_base,
+            stats: ControllerStats::default(),
+            crashed: false,
+            nvm,
+            kind,
+            config,
+        })
+    }
+
+    /// The active protocol.
+    pub fn protocol(&self) -> ProtocolKind {
+        self.kind
+    }
+
+    /// The tree geometry in force.
+    pub fn geometry(&self) -> &BmtGeometry {
+        self.bmt.geometry()
+    }
+
+    /// The configuration this controller was built with.
+    pub fn config(&self) -> &SecureMemoryConfig {
+        &self.config
+    }
+
+    /// Controller statistics.
+    pub fn stats(&self) -> &ControllerStats {
+        &self.stats
+    }
+
+    /// A snapshot of controller, cache and timeline statistics.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            controller: self.stats,
+            metadata_cache: *self.metadata_cache.stats(),
+            timeline: *self.timeline.stats(),
+        }
+    }
+
+    /// Resets all statistics (region-of-interest boundary).
+    pub fn reset_stats(&mut self) {
+        self.stats = ControllerStats::default();
+        self.metadata_cache.reset_stats();
+        self.timeline.reset_stats();
+        self.nvm.reset_stats();
+    }
+
+    /// The current AMNT subtree root, if the protocol is AMNT and a hot
+    /// region has been elected.
+    pub fn subtree_root(&self) -> Option<NodeId> {
+        match &self.protocol {
+            ProtocolState::Amnt(s) => s.register.map(|(id, _)| id),
+            _ => None,
+        }
+    }
+
+    /// Direct access to the device — for integration tests that model
+    /// physical attacks (bit flips, replay).
+    pub fn nvm_mut(&mut self) -> &mut Nvm {
+        &mut self.nvm
+    }
+
+    /// Number of dirty (stale-in-NVM) metadata lines right now.
+    pub fn stale_lines(&self) -> usize {
+        self.persisted_images.len()
+    }
+
+    /// Media write-endurance summary for addresses in `[from, to)` — see
+    /// [`crate::WearSummary`].
+    pub fn wear_summary_range(&self, from: u64, to: u64) -> crate::WearSummary {
+        self.timeline.wear_summary_range(from, to)
+    }
+
+    /// Media write-endurance summary over the whole device.
+    pub fn wear_summary(&self) -> crate::WearSummary {
+        self.timeline.wear_summary()
+    }
+
+    // ------------------------------------------------------------------
+    // Metadata cache plumbing
+    // ------------------------------------------------------------------
+
+    /// Fills `addr` into the metadata cache, handling the eviction writeback
+    /// and the Anubis shadow-table hook. Returns the updated time.
+    fn meta_fill(&mut self, mut t: u64, addr: u64, dirty: bool) -> u64 {
+        if let Some(ev) = self.metadata_cache.fill(addr, dirty) {
+            if ev.dirty {
+                // Lazy writeback: the line's current image becomes persisted.
+                let (_, _stall) = self.timeline.write(t, ev.addr, 0);
+                self.stats.posted_writes += 1;
+                self.persisted_images.remove(&ev.addr);
+            }
+            if let ProtocolState::Anubis(s) = &mut self.protocol {
+                s.release_slot(ev.addr);
+            }
+        }
+        if let ProtocolState::Anubis(s) = &mut self.protocol {
+            let slot = s.assign_slot(addr);
+            let slot_addr = self.aux_base + slot as u64 * 8;
+            // Tag with addr+1 so zero means "empty slot".
+            self.nvm.write_u64(slot_addr, addr + 1).expect("aux region in range");
+            // The shadow-table update must be durable atomically with the
+            // cache-state change (paper §7.3) — this is Anubis's slow path
+            // on every metadata cache miss. The write is issued as soon as
+            // the miss is detected, overlapping the metadata fetch itself.
+            let issue = t.saturating_sub(self.config.timing.pcm_read);
+            let (done, stall) = self.timeline.write(issue, slot_addr, 0);
+            t = (t + stall).max(done);
+            self.stats.shadow_writes += 1;
+            // The shadow Merkle tree is fully cached on-chip: latency only.
+            t += self.config.timing.hash;
+        }
+        t
+    }
+
+    /// Remembers the last-persisted image of `addr` before a lazy update, if
+    /// not already remembered.
+    fn snapshot_before_lazy_update(&mut self, addr: u64) {
+        if !self.persisted_images.contains_key(&addr) {
+            let img = self.nvm.read_block_untimed(addr);
+            self.persisted_images.insert(addr, img);
+            let stale = self.persisted_images.len() as u64;
+            if stale > self.stats.max_stale_lines {
+                self.stats.max_stale_lines = stale;
+            }
+        }
+    }
+
+    /// Marks `addr` persisted: drops the rollback image and cleans the line.
+    fn mark_persisted(&mut self, addr: u64) {
+        self.persisted_images.remove(&addr);
+        self.metadata_cache.clean(addr);
+    }
+
+    // ------------------------------------------------------------------
+    // Verification
+    // ------------------------------------------------------------------
+
+    /// Zero-convention slot check (see the module docs).
+    fn slot_matches(stored: u64, expected: u64, child: &NodeBytes) -> bool {
+        stored == expected || (stored == 0 && child.iter().all(|&b| b == 0))
+    }
+
+    /// Verifies a freshly fetched metadata block against its ancestors,
+    /// walking up until a trusted ancestor (cached node, AMNT register, BMF
+    /// persistent root, or the on-chip root register).
+    fn verify_up(&mut self, mut t: u64, child: ChildRef) -> Result<u64, IntegrityError> {
+        let walk_start = t;
+        let g = self.bmt.geometry().clone();
+        let (mut child_bytes, mut child_mac, mut slot, mut cur): (NodeBytes, u64, usize, NodeId) =
+            match child {
+                ChildRef::Counter(index) => {
+                    let bytes = self.nvm.read_block_untimed(g.counter_addr(index));
+                    let mac = self.bmt.hasher().counter_mac(&bytes, index);
+                    self.stats.hashes += 1;
+                    t += self.config.timing.hash;
+                    (bytes, mac, (index % TREE_ARITY) as usize, g.counter_parent(index))
+                }
+                ChildRef::Node(node) => {
+                    let bytes = self.nvm.read_block_untimed(g.node_addr(node));
+                    let mac = self.bmt.hasher().node_mac(&bytes, node);
+                    self.stats.hashes += 1;
+                    t += self.config.timing.hash;
+                    let parent = g.parent(node).expect("level >= 2 has a parent");
+                    (bytes, mac, g.child_slot(node), parent)
+                }
+            };
+        let fail = |c: &ChildRef| match c {
+            ChildRef::Counter(i) => IntegrityError::CounterMac { index: *i },
+            ChildRef::Node(n) => IntegrityError::NodeMac { node: *n },
+        };
+        loop {
+            // Trusted terminals.
+            if cur.level == 1 {
+                let stored = slot_of(&self.root_register, slot);
+                if Self::slot_matches(stored, child_mac, &child_bytes) {
+                    return Ok(t);
+                }
+                return Err(fail(&child));
+            }
+            if let ProtocolState::Amnt(s) = &self.protocol {
+                if let Some((id, image)) = s.register {
+                    if id == cur {
+                        let stored = slot_of(&image, slot);
+                        if Self::slot_matches(stored, child_mac, &child_bytes) {
+                            return Ok(t);
+                        }
+                        return Err(fail(&child));
+                    }
+                }
+            }
+            if let ProtocolState::Bmf(s) = &self.protocol {
+                if let Some(entry) = s.roots.get(&cur) {
+                    let stored = slot_of(&entry.image, slot);
+                    if Self::slot_matches(stored, child_mac, &child_bytes) {
+                        return Ok(t);
+                    }
+                    return Err(fail(&child));
+                }
+            }
+            let addr = g.node_addr(cur);
+            let cached =
+                self.config.trusted_ancestor_caching && self.metadata_cache.contains(addr);
+            let bytes = if cached {
+                self.metadata_cache.access(addr, false);
+                t += self.config.timing.metadata_cache;
+                self.nvm.read_block_untimed(addr)
+            } else if self.config.parallel_path_fetch {
+                // All path addresses are known up front: fetches overlap,
+                // and only the (pipelined) hash chain accumulates.
+                let done = self.timeline.read(walk_start, addr);
+                t = t.max(done);
+                self.stats.metadata_fetches += 1;
+                self.nvm.read_block_untimed(addr)
+            } else {
+                t = self.timeline.read(t, addr);
+                self.stats.metadata_fetches += 1;
+                self.nvm.read_block_untimed(addr)
+            };
+            let stored = slot_of(&bytes, slot);
+            if !Self::slot_matches(stored, child_mac, &child_bytes) {
+                return Err(fail(&child));
+            }
+            if cached {
+                return Ok(t);
+            }
+            // The fetched ancestor itself needs verification one level up.
+            t = self.meta_fill(t, addr, false);
+            child_mac = self.bmt.hasher().node_mac(&bytes, cur);
+            self.stats.hashes += 1;
+            t += self.config.timing.hash;
+            child_bytes = bytes;
+            slot = g.child_slot(cur);
+            cur = g.parent(cur).expect("level >= 2 has a parent");
+        }
+    }
+
+    /// Fetches (and if necessary verifies + caches) counter block `index`.
+    fn fetch_counter(&mut self, mut t: u64, index: u64) -> Result<(CounterBlock, u64), IntegrityError> {
+        let addr = self.bmt.geometry().counter_addr(index);
+        if self.metadata_cache.access(addr, false).hit {
+            t += self.config.timing.metadata_cache;
+        } else {
+            t = self.timeline.read(t, addr);
+            self.stats.metadata_fetches += 1;
+            t = self.verify_up(t, ChildRef::Counter(index))?;
+            t = self.meta_fill(t, addr, false);
+        }
+        let bytes = self.nvm.read_block_untimed(addr);
+        Ok((CounterBlock::decode(&bytes), t))
+    }
+
+    /// Ensures tree node `node` is cached (fetch + verify on miss).
+    fn ensure_node(&mut self, mut t: u64, node: NodeId) -> Result<u64, IntegrityError> {
+        let addr = self.bmt.geometry().node_addr(node);
+        if self.metadata_cache.access(addr, false).hit {
+            t += self.config.timing.metadata_cache;
+        } else {
+            t = self.timeline.read(t, addr);
+            self.stats.metadata_fetches += 1;
+            t = self.verify_up(t, ChildRef::Node(node))?;
+            t = self.meta_fill(t, addr, false);
+        }
+        Ok(t)
+    }
+
+    /// Fetches the HMAC block covering `data_addr`; returns the stored MAC.
+    /// HMAC blocks are MACs themselves and need no tree walk.
+    fn fetch_hmac(&mut self, mut t: u64, data_addr: u64) -> Result<(u64, u64), IntegrityError> {
+        let hmac_addr = self.bmt.geometry().hmac_addr(data_addr);
+        let line = hmac_addr & !(BLOCK_SIZE as u64 - 1);
+        if self.metadata_cache.access(line, false).hit {
+            t += self.config.timing.metadata_cache;
+        } else {
+            t = self.timeline.read(t, line);
+            self.stats.metadata_fetches += 1;
+            t = self.meta_fill(t, line, false);
+        }
+        let mut buf = [0u8; 8];
+        self.nvm.read_bytes_untimed(hmac_addr, &mut buf);
+        Ok((u64::from_be_bytes(buf), t))
+    }
+
+    fn validate_data_addr(&self, addr: u64) -> Result<(), IntegrityError> {
+        if !addr.is_multiple_of(BLOCK_SIZE as u64) || !self.bmt.geometry().is_data_addr(addr) {
+            return Err(IntegrityError::OutOfRange { addr });
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Read path
+    // ------------------------------------------------------------------
+
+    /// Serves an LLC read miss for the block at `addr`, starting at core
+    /// time `now`. Returns the plaintext and the completion time.
+    ///
+    /// # Errors
+    ///
+    /// [`IntegrityError::DataMac`] (and friends) when verification fails —
+    /// the hardware's tamper signal — or [`IntegrityError::OutOfRange`] for
+    /// bad addresses.
+    pub fn read_block(
+        &mut self,
+        now: u64,
+        addr: u64,
+    ) -> Result<([u8; BLOCK_SIZE], u64), IntegrityError> {
+        self.validate_data_addr(addr)?;
+        self.stats.data_reads += 1;
+        // Data fetch and counter/HMAC fetches proceed in parallel.
+        let data_done = self.timeline.read(now, addr);
+        let ct = self.nvm.read_block_untimed(addr);
+        let index = self.bmt.geometry().counter_index(addr);
+        let (counter, t_ctr) = self.fetch_counter(now, index)?;
+        let (stored_mac, t_meta) = self.fetch_hmac(t_ctr, addr)?;
+        let slot = self.bmt.geometry().counter_slot(addr);
+        let mut t = data_done.max(t_meta);
+        let (major, minor) = (counter.major(), counter.minor(slot));
+        // Factory-zero convention: untouched block.
+        if major == 0 && minor == 0 && stored_mac == 0 && ct.iter().all(|&b| b == 0) {
+            self.stats.wait_cycles += t - now;
+            return Ok(([0u8; BLOCK_SIZE], t));
+        }
+        let mac = self.bmt.hasher().data_mac(&ct, addr, major, minor);
+        self.stats.hashes += 1;
+        t += self.config.timing.hash;
+        if mac != stored_mac {
+            return Err(IntegrityError::DataMac { addr });
+        }
+        // The OTP is generated during the fetch; only the XOR remains.
+        let pt = self.engine.decrypt_block(addr, major, minor, &ct);
+        self.stats.wait_cycles += t - now;
+        Ok((pt, t))
+    }
+
+    /// Reads an arbitrary byte range from the protected region (convenience
+    /// over [`Self::read_block`]: spans and slices blocks as needed; every
+    /// touched block is decrypted and verified).
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Self::read_block`].
+    pub fn read_bytes(
+        &mut self,
+        mut now: u64,
+        addr: u64,
+        buf: &mut [u8],
+    ) -> Result<u64, IntegrityError> {
+        let mut cursor = addr;
+        let mut filled = 0usize;
+        while filled < buf.len() {
+            let block_base = cursor & !(BLOCK_SIZE as u64 - 1);
+            let offset = (cursor - block_base) as usize;
+            let take = (BLOCK_SIZE - offset).min(buf.len() - filled);
+            let (block, done) = self.read_block(now, block_base)?;
+            buf[filled..filled + take].copy_from_slice(&block[offset..offset + take]);
+            now = done;
+            cursor += take as u64;
+            filled += take;
+        }
+        Ok(now)
+    }
+
+    /// Writes an arbitrary byte range to the protected region. Partial
+    /// blocks are handled read-modify-write (each touched block is verified
+    /// before being re-encrypted), so the integrity guarantees are
+    /// identical to [`Self::write_block`].
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Self::write_block`].
+    pub fn write_bytes(
+        &mut self,
+        mut now: u64,
+        addr: u64,
+        data: &[u8],
+    ) -> Result<u64, IntegrityError> {
+        let mut cursor = addr;
+        let mut consumed = 0usize;
+        while consumed < data.len() {
+            let block_base = cursor & !(BLOCK_SIZE as u64 - 1);
+            let offset = (cursor - block_base) as usize;
+            let take = (BLOCK_SIZE - offset).min(data.len() - consumed);
+            let mut block = if offset == 0 && take == BLOCK_SIZE {
+                [0u8; BLOCK_SIZE]
+            } else {
+                let (existing, done) = self.read_block(now, block_base)?;
+                now = done;
+                existing
+            };
+            block[offset..offset + take].copy_from_slice(&data[consumed..consumed + take]);
+            now = self.write_block(now, block_base, &block)?;
+            cursor += take as u64;
+            consumed += take;
+        }
+        Ok(now)
+    }
+
+    // ------------------------------------------------------------------
+    // Write path
+    // ------------------------------------------------------------------
+
+    /// Serves an LLC writeback of the block at `addr`, starting at core time
+    /// `now`. Returns the time at which the core may proceed (persistence
+    /// waits included, per the active protocol).
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Self::read_block`].
+    pub fn write_block(
+        &mut self,
+        now: u64,
+        addr: u64,
+        data: &[u8; BLOCK_SIZE],
+    ) -> Result<u64, IntegrityError> {
+        self.validate_data_addr(addr)?;
+        self.stats.data_writes += 1;
+        let g = self.bmt.geometry().clone();
+        let index = g.counter_index(addr);
+        let slot = g.counter_slot(addr);
+
+        let (mut counter, mut t) = self.fetch_counter(now, index)?;
+        let outcome = counter.increment(slot);
+        let mut force_counter_persist = false;
+        if outcome == IncrementOutcome::MajorOverflow {
+            let old = {
+                let bytes = self.nvm.read_block_untimed(g.counter_addr(index));
+                CounterBlock::decode(&bytes)
+            };
+            t = self.reencrypt_page(t, index, &old, &counter)?;
+            force_counter_persist = !matches!(self.protocol, ProtocolState::Volatile);
+        }
+
+        // Encrypt, MAC, and update the leaf metadata contents.
+        let ct = self.engine.encrypt_block(addr, counter.major(), counter.minor(slot), data);
+        let mac = self.bmt.hasher().data_mac(&ct, addr, counter.major(), counter.minor(slot));
+        self.stats.hashes += 2; // data MAC + pad generation amortised
+        self.nvm.write_block_untimed(addr, &ct);
+
+        let hmac_addr = g.hmac_addr(addr);
+        let hmac_line = hmac_addr & !(BLOCK_SIZE as u64 - 1);
+        // The HMAC line must be resident to update it.
+        if !self.metadata_cache.contains(hmac_line) {
+            t = self.timeline.read(t, hmac_line);
+            self.stats.metadata_fetches += 1;
+            t = self.meta_fill(t, hmac_line, false);
+        } else {
+            self.metadata_cache.access(hmac_line, false);
+            t += self.config.timing.metadata_cache;
+        }
+
+        let counter_addr = g.counter_addr(index);
+        // Strict-style writes persist the whole chain in order (data, HMAC,
+        // counter, then every ancestral node): each persist may only start
+        // once the previous is durable. Leaf-style groups persist atomically
+        // in parallel (a hardware write transaction).
+        let strict_like = match &self.protocol {
+            ProtocolState::Strict => true,
+            ProtocolState::Amnt(s) => {
+                !s.covers(g.subtree_index(addr, s.level))
+            }
+            _ => false,
+        };
+        // Decide leaf persistence per protocol.
+        let (persist_data, persist_hmac, persist_counter, blocking) = match &mut self.protocol {
+            ProtocolState::Volatile | ProtocolState::Battery(_) => {
+                (false, false, false, false)
+            }
+            ProtocolState::Strict
+            | ProtocolState::Leaf
+            | ProtocolState::Plp
+            | ProtocolState::Bmf(_) => (true, true, true, true),
+            ProtocolState::Osiris(s) => {
+                let p = s.record_update(index) || force_counter_persist;
+                if p {
+                    s.mark_persisted(index);
+                }
+                (true, true, p, true)
+            }
+            ProtocolState::Anubis(s) => {
+                let p = s.osiris.record_update(index) || force_counter_persist;
+                if p {
+                    s.osiris.mark_persisted(index);
+                }
+                (true, true, p, true)
+            }
+            ProtocolState::Amnt(_) => (true, true, true, true),
+        };
+        let persist_counter = persist_counter || force_counter_persist;
+
+        // Apply content updates (NVM is the logical current state).
+        if !persist_hmac {
+            self.snapshot_before_lazy_update(hmac_line);
+        }
+        self.nvm.write_bytes_untimed(hmac_addr, &mac.to_be_bytes());
+        if !persist_counter {
+            self.snapshot_before_lazy_update(counter_addr);
+        }
+        self.nvm.write_block_untimed(counter_addr, &counter.encode());
+
+        // Issue the leaf persist group: ordered chain for strict-style
+        // writes, parallel banks with one durability wait otherwise.
+        let mut group_done = t;
+        let mut chain = 0u64;
+        if persist_data {
+            let (done, stall) = self.timeline.write(t, addr, chain);
+            t += stall;
+            if strict_like {
+                chain = done;
+            }
+            group_done = group_done.max(done);
+            self.stats.persist_writes += 1;
+        } else {
+            let (_, stall) = self.timeline.write(t, addr, 0);
+            t += stall;
+            self.stats.posted_writes += 1;
+        }
+        if persist_hmac {
+            let (done, stall) = self.timeline.write(t, hmac_line, chain);
+            t += stall;
+            if strict_like {
+                chain = done;
+            }
+            group_done = group_done.max(done);
+            self.stats.persist_writes += 1;
+            self.mark_persisted(hmac_line);
+        } else {
+            self.metadata_cache.access(hmac_line, true);
+        }
+        if persist_counter {
+            let (done, stall) = self.timeline.write(t, counter_addr, chain);
+            t += stall;
+            // (The ordered chain continues into the node updates below:
+            // with `blocking`, t advances to group_done before them.)
+            group_done = group_done.max(done);
+            self.stats.persist_writes += 1;
+            self.mark_persisted(counter_addr);
+        } else {
+            self.metadata_cache.access(counter_addr, true);
+        }
+        if blocking {
+            t = t.max(group_done);
+        }
+
+        // Update the ancestral tree path per protocol.
+        let counter_bytes = counter.encode();
+        let leaf_mac = self.bmt.hasher().counter_mac(&counter_bytes, index);
+        self.stats.hashes += 1;
+        t = self.update_path(t, addr, index, leaf_mac)?;
+
+        self.stats.wait_cycles += t.saturating_sub(now);
+        Ok(t)
+    }
+
+    /// Eagerly updates the ancestral path of counter `index` with
+    /// `leaf_mac`, persisting nodes as the protocol dictates, and finishes
+    /// at the appropriate trusted register.
+    fn update_path(
+        &mut self,
+        mut t: u64,
+        data_addr: u64,
+        index: u64,
+        leaf_mac: u64,
+    ) -> Result<u64, IntegrityError> {
+        let g = self.bmt.geometry().clone();
+        let path = g.path_to_root(index);
+        let mut child_mac = leaf_mac;
+        let mut child_slot = (index % TREE_ARITY) as usize;
+
+        // AMNT: classify the write and handle hot-region tracking.
+        let amnt_target: Option<NodeId> = if let ProtocolState::Amnt(s) = &mut self.protocol {
+            let region = g.subtree_index(data_addr, s.level);
+            if s.covers(region) {
+                self.stats.subtree_hits += 1;
+                Some(NodeId { level: s.level, index: region })
+            } else {
+                self.stats.subtree_misses += 1;
+                None
+            }
+        } else {
+            None
+        };
+
+        // BMF: find the covering persistent root and bump its frequency.
+        let bmf_cover: Option<NodeId> = if let ProtocolState::Bmf(s) = &self.protocol {
+            s.covering_root(g.bottom_level(), |l| g.ancestor_at_level(index, l))
+        } else {
+            None
+        };
+
+        let strict_nodes = matches!(
+            (&self.protocol, amnt_target),
+            (ProtocolState::Strict, _)
+                | (ProtocolState::Plp, _)
+                | (ProtocolState::Amnt(_), None)
+        );
+        // PLP issues its per-level persists in parallel: no ordering chain.
+        let ordered_chain = !matches!(self.protocol, ProtocolState::Plp);
+
+        let mut chain = t; // ordered-persist cursor
+        let mut used_chain = false;
+        for node in path {
+            // Terminals that absorb the update on-chip.
+            if Some(node) == amnt_target {
+                if let ProtocolState::Amnt(s) = &mut self.protocol {
+                    if let Some((id, image)) = &mut s.register {
+                        debug_assert_eq!(*id, node);
+                        set_slot(image, child_slot, child_mac);
+                        t += 1; // on-chip register update
+                    }
+                }
+                t = self.finish_amnt_write(t, data_addr)?;
+                return Ok(t);
+            }
+            if Some(node) == bmf_cover {
+                if let ProtocolState::Bmf(s) = &mut self.protocol {
+                    if let Some(entry) = s.roots.get_mut(&node) {
+                        set_slot(&mut entry.image, child_slot, child_mac);
+                        child_mac = self.bmt.hasher().node_mac(&entry.image, node);
+                        t += 1;
+                    }
+                    s.touch(node);
+                }
+                self.stats.hashes += 1;
+                child_slot = g.child_slot(node);
+                // Above the cover the updates continue lazily.
+                t = self.update_lazy_above(t, g.parent(node), child_mac, child_slot)?;
+                t = self.finish_bmf_write(t)?;
+                return Ok(t);
+            }
+
+            t = self.ensure_node(t, node)?;
+            let addr = g.node_addr(node);
+            let persist_here = strict_nodes
+                || matches!(&self.protocol, ProtocolState::Bmf(_)); // below cover: write-through
+            let mut image = self.nvm.read_block_untimed(addr);
+            if !persist_here {
+                self.snapshot_before_lazy_update(addr);
+            }
+            set_slot(&mut image, child_slot, child_mac);
+            self.nvm.write_block_untimed(addr, &image);
+            if persist_here {
+                let not_before = if ordered_chain { chain } else { 0 };
+                let (done, stall) = self.timeline.write(t, addr, not_before);
+                t += stall;
+                chain = if ordered_chain { done } else { chain.max(done) };
+                used_chain = true;
+                self.stats.persist_writes += 1;
+                self.mark_persisted(addr);
+                self.metadata_cache.access(addr, false);
+            } else {
+                self.metadata_cache.access(addr, true);
+            }
+            child_mac = self.bmt.hasher().node_mac(&image, node);
+            self.stats.hashes += 1;
+            t += self.config.timing.hash;
+            child_slot = g.child_slot(node);
+        }
+        // Reached the on-chip root register.
+        set_slot(&mut self.root_register, child_slot, child_mac);
+        t += 1;
+        if used_chain {
+            // Strict semantics: wait for the ordered write-through chain.
+            t = t.max(chain);
+        }
+        match &self.protocol {
+            ProtocolState::Amnt(_) => self.finish_amnt_write(t, data_addr),
+            ProtocolState::Bmf(_) => self.finish_bmf_write(t),
+            _ => Ok(t),
+        }
+    }
+
+    /// Continues lazy slot updates from `start` up to the root register
+    /// (BMF's above-frontier region).
+    fn update_lazy_above(
+        &mut self,
+        mut t: u64,
+        start: Option<NodeId>,
+        mut child_mac: u64,
+        mut child_slot: usize,
+    ) -> Result<u64, IntegrityError> {
+        let g = self.bmt.geometry().clone();
+        let mut cur = start;
+        while let Some(node) = cur {
+            if node.level == 1 {
+                break;
+            }
+            t = self.ensure_node(t, node)?;
+            let addr = g.node_addr(node);
+            self.snapshot_before_lazy_update(addr);
+            let mut image = self.nvm.read_block_untimed(addr);
+            set_slot(&mut image, child_slot, child_mac);
+            self.nvm.write_block_untimed(addr, &image);
+            self.metadata_cache.access(addr, true);
+            child_mac = self.bmt.hasher().node_mac(&image, node);
+            self.stats.hashes += 1;
+            t += self.config.timing.hash;
+            child_slot = g.child_slot(node);
+            cur = g.parent(node);
+        }
+        set_slot(&mut self.root_register, child_slot, child_mac);
+        t += 1;
+        Ok(t)
+    }
+
+    // ------------------------------------------------------------------
+    // AMNT hot-region tracking and subtree transitions
+    // ------------------------------------------------------------------
+
+    /// Post-write AMNT bookkeeping: record the region in the history buffer
+    /// and run the end-of-interval subtree election.
+    fn finish_amnt_write(&mut self, mut t: u64, data_addr: u64) -> Result<u64, IntegrityError> {
+        let g = self.bmt.geometry().clone();
+        let (region, elect) = {
+            let s = match &mut self.protocol {
+                ProtocolState::Amnt(s) => s,
+                _ => return Ok(t),
+            };
+            if g.bottom_level() < 2 {
+                return Ok(t); // degenerate tree: no subtree to manage
+            }
+            let region = g.subtree_index(data_addr, s.level);
+            s.history.record(region);
+            s.writes_in_interval += 1;
+            let elect = s.writes_in_interval >= s.config.interval_writes;
+            if elect {
+                s.writes_in_interval = 0;
+            }
+            (region, elect)
+        };
+        let _ = region;
+        if elect {
+            t = self.amnt_elect(t)?;
+        }
+        Ok(t)
+    }
+
+    /// End-of-interval election: adopt the history-buffer head as the new
+    /// subtree root, transitioning if it differs from the incumbent.
+    fn amnt_elect(&mut self, mut t: u64) -> Result<u64, IntegrityError> {
+        let g = self.bmt.geometry().clone();
+        let (level, winner, incumbent) = match &self.protocol {
+            ProtocolState::Amnt(s) => {
+                (s.level, s.history.hottest(), s.register.map(|(id, _)| id))
+            }
+            _ => return Ok(t),
+        };
+        let winner = match winner {
+            Some(w) => w,
+            None => return Ok(t),
+        };
+        let winner_id = NodeId { level, index: winner };
+        if incumbent == Some(winner_id) {
+            if let ProtocolState::Amnt(s) = &mut self.protocol {
+                s.history.start_interval(Some(winner));
+            }
+            return Ok(t);
+        }
+        self.stats.subtree_transitions += 1;
+
+        // 1. Retire the incumbent: persist its register image, flush dirty
+        //    subtree-internal nodes, and fold the new MAC into the global
+        //    path (all off the critical path: posted writes).
+        if let Some((old_id, old_image)) = incumbent.and(match &self.protocol {
+            ProtocolState::Amnt(s) => s.register,
+            _ => None,
+        }) {
+            let old_addr = g.node_addr(old_id);
+            self.nvm.write_block_untimed(old_addr, &old_image);
+            self.timeline.write(t, old_addr, 0);
+            self.stats.persist_writes += 1;
+            self.mark_persisted(old_addr);
+            // Flush dirty descendants of the old subtree root.
+            let drained = {
+                let g2 = g.clone();
+                self.metadata_cache.drain_dirty_where(|addr| {
+                    g2.node_of_addr(addr)
+                        .map(|n| g2.in_subtree(n, old_id))
+                        .unwrap_or(false)
+                })
+            };
+            for addr in drained {
+                self.timeline.write(t, addr, 0);
+                self.stats.persist_writes += 1;
+                self.persisted_images.remove(&addr);
+            }
+            // Fold the retired root into its ancestors (strict region).
+            let mut child_mac = self.bmt.hasher().node_mac(&old_image, old_id);
+            self.stats.hashes += 1;
+            let mut child_slot = g.child_slot(old_id);
+            let mut cur = g.parent(old_id);
+            let mut chain = t;
+            while let Some(node) = cur {
+                if node.level == 1 {
+                    break;
+                }
+                t = self.ensure_node(t, node)?;
+                let addr = g.node_addr(node);
+                let mut image = self.nvm.read_block_untimed(addr);
+                set_slot(&mut image, child_slot, child_mac);
+                self.nvm.write_block_untimed(addr, &image);
+                let (done, _stall) = self.timeline.write(t, addr, chain);
+                chain = done;
+                self.stats.persist_writes += 1;
+                self.mark_persisted(addr);
+                child_mac = self.bmt.hasher().node_mac(&image, node);
+                self.stats.hashes += 1;
+                child_slot = g.child_slot(node);
+                cur = g.parent(node);
+            }
+            set_slot(&mut self.root_register, child_slot, child_mac);
+        }
+
+        // 2. Adopt the winner: its NVM copy is current (strict region);
+        //    verify it against the global path, then load the register.
+        let new_addr = g.node_addr(winner_id);
+        if !self.metadata_cache.contains(new_addr) {
+            t = self.timeline.read(t, new_addr);
+            self.stats.metadata_fetches += 1;
+            t = self.verify_up(t, ChildRef::Node(winner_id))?;
+            t = self.meta_fill(t, new_addr, false);
+        }
+        let image = self.nvm.read_block_untimed(new_addr);
+        if let ProtocolState::Amnt(s) = &mut self.protocol {
+            s.register = Some((winner_id, image));
+            s.history.start_interval(Some(winner));
+        }
+        Ok(t)
+    }
+
+    // ------------------------------------------------------------------
+    // BMF maintenance
+    // ------------------------------------------------------------------
+
+    /// Post-write BMF bookkeeping: run prune/merge maintenance each interval.
+    fn finish_bmf_write(&mut self, mut t: u64) -> Result<u64, IntegrityError> {
+        let g = self.bmt.geometry().clone();
+        let due = match &mut self.protocol {
+            ProtocolState::Bmf(s) => {
+                s.writes_since_maintenance += 1;
+                if s.writes_since_maintenance >= s.config.maintenance_interval {
+                    s.writes_since_maintenance = 0;
+                    true
+                } else {
+                    false
+                }
+            }
+            _ => false,
+        };
+        if !due {
+            return Ok(t);
+        }
+        // Merge the coldest complete sibling group if capacity is tight.
+        let (merge, prune) = match &self.protocol {
+            ProtocolState::Bmf(s) => {
+                let expected = |p: NodeId| g.children(p).len();
+                let merge = if s.roots.len() + (TREE_ARITY as usize - 1) > s.config.capacity {
+                    s.pick_merge(expected)
+                } else {
+                    None
+                };
+                (merge, s.pick_prune(g.bottom_level(), TREE_ARITY as usize))
+            }
+            _ => (None, None),
+        };
+        if let Some(parent) = merge {
+            t = self.bmf_merge(t, parent)?;
+        }
+        let prune = match (&self.protocol, prune) {
+            (ProtocolState::Bmf(s), Some(p))
+                if s.roots.len() + (TREE_ARITY as usize - 1) <= s.config.capacity =>
+            {
+                Some(p)
+            }
+            _ => None,
+        };
+        if let Some(node) = prune {
+            t = self.bmf_prune(t, node)?;
+        }
+        if let ProtocolState::Bmf(s) = &mut self.protocol {
+            s.decay();
+        }
+        Ok(t)
+    }
+
+    /// Replaces a hot frontier node with its children (shorter persist
+    /// paths beneath it).
+    fn bmf_prune(&mut self, mut t: u64, node: NodeId) -> Result<u64, IntegrityError> {
+        let g = self.bmt.geometry().clone();
+        let entry = match &mut self.protocol {
+            ProtocolState::Bmf(s) => s.roots.remove(&node),
+            _ => None,
+        };
+        let entry = match entry {
+            Some(e) => e,
+            None => return Ok(t),
+        };
+        // The departing node's on-chip image becomes the NVM copy.
+        let addr = g.node_addr(node);
+        self.nvm.write_block_untimed(addr, &entry.image);
+        self.timeline.write(t, addr, 0);
+        self.stats.persist_writes += 1;
+        self.mark_persisted(addr);
+        // Children are below the old frontier: write-through, hence current.
+        let children: Vec<NodeId> = if node.level == g.bottom_level() {
+            Vec::new()
+        } else {
+            g.children(node)
+        };
+        for child in &children {
+            let caddr = g.node_addr(*child);
+            t = self.timeline.read(t, caddr);
+            let image = self.nvm.read_block_untimed(caddr);
+            if let ProtocolState::Bmf(s) = &mut self.protocol {
+                s.roots.insert(*child, crate::protocol::bmf_entry(image));
+            }
+        }
+        self.stats.bmf_prunes += 1;
+        Ok(t)
+    }
+
+    /// Merges a cold complete sibling group into its parent.
+    fn bmf_merge(&mut self, mut t: u64, parent: NodeId) -> Result<u64, IntegrityError> {
+        let g = self.bmt.geometry().clone();
+        let children: Vec<NodeId> = if parent.level == g.bottom_level() {
+            return Ok(t);
+        } else {
+            g.children(parent)
+        };
+        let mut parent_image = [0u8; 64];
+        let mut images = Vec::with_capacity(children.len());
+        for child in &children {
+            let img = match &self.protocol {
+                ProtocolState::Bmf(s) => s.roots.get(child).map(|e| e.image),
+                _ => None,
+            };
+            let img = match img {
+                Some(i) => i,
+                None => return Ok(t), // incomplete group: bail out
+            };
+            images.push((*child, img));
+        }
+        for (child, img) in &images {
+            set_slot(
+                &mut parent_image,
+                g.child_slot(*child),
+                self.bmt.hasher().node_mac(img, *child),
+            );
+            self.stats.hashes += 1;
+            // Departing children persist their images to NVM.
+            let caddr = g.node_addr(*child);
+            self.nvm.write_block_untimed(caddr, img);
+            self.timeline.write(t, caddr, 0);
+            self.stats.persist_writes += 1;
+            self.mark_persisted(caddr);
+            if let ProtocolState::Bmf(s) = &mut self.protocol {
+                s.roots.remove(child);
+            }
+        }
+        if let ProtocolState::Bmf(s) = &mut self.protocol {
+            s.roots.insert(parent, crate::protocol::bmf_entry(parent_image));
+        }
+        t += self.config.timing.hash;
+        self.stats.bmf_merges += 1;
+        Ok(t)
+    }
+
+    // ------------------------------------------------------------------
+    // Page re-encryption on minor-counter overflow
+    // ------------------------------------------------------------------
+
+    /// Re-encrypts every block of counter block `index`'s page under the new
+    /// major counter (minor overflow, paper §2.1).
+    fn reencrypt_page(
+        &mut self,
+        mut t: u64,
+        index: u64,
+        old: &CounterBlock,
+        new: &CounterBlock,
+    ) -> Result<u64, IntegrityError> {
+        self.stats.counter_overflows += 1;
+        let g = self.bmt.geometry().clone();
+        let page_base = index * PAGE_SIZE;
+        let burst_start = t;
+        for slot in 0..amnt_bmt::MINORS_PER_BLOCK {
+            let addr = page_base + (slot as u64) * BLOCK_SIZE as u64;
+            if addr >= g.data_capacity() {
+                break;
+            }
+            let ct = self.nvm.read_block_untimed(addr);
+            let hmac_addr = g.hmac_addr(addr);
+            let mut stored = [0u8; 8];
+            self.nvm.read_bytes_untimed(hmac_addr, &mut stored);
+            let stored_mac = u64::from_be_bytes(stored);
+            if stored_mac == 0 && old.minor(slot) == 0 && ct.iter().all(|&b| b == 0) {
+                continue; // untouched block
+            }
+            self.timeline.read(t, addr);
+            let pt = self.engine.decrypt_block(addr, old.major(), old.minor(slot), &ct);
+            let new_ct = self.engine.encrypt_block(addr, new.major(), 0, &pt);
+            let new_mac = self.bmt.hasher().data_mac(&new_ct, addr, new.major(), 0);
+            self.stats.hashes += 1;
+            self.nvm.write_block_untimed(addr, &new_ct);
+            self.nvm.write_bytes_untimed(hmac_addr, &new_mac.to_be_bytes());
+            self.timeline.write(t, addr, 0);
+            let hmac_line = hmac_addr & !(BLOCK_SIZE as u64 - 1);
+            self.timeline.write(t, hmac_line, 0);
+            self.stats.persist_writes += 2;
+            // The re-encrypted page and its MACs are durable now; stale
+            // snapshots of these lines must not roll them back at a crash.
+            self.mark_persisted(hmac_line);
+        }
+        // The burst is pipelined: charge one read pass through the banks.
+        t = burst_start + self.config.timing.pcm_read + self.config.timing.pcm_write;
+        Ok(t)
+    }
+
+    // ------------------------------------------------------------------
+    // Crash
+    // ------------------------------------------------------------------
+
+    /// Power failure: volatile state (metadata cache, history buffer,
+    /// stop-loss clocks, in-flight writes) is lost; the media and the
+    /// non-volatile registers (root register, AMNT subtree register, BMF
+    /// root set) survive. Dirty metadata lines roll back to their last
+    /// persisted images.
+    pub fn crash(&mut self) {
+        // Battery-backed caches: the residual battery flushes up to its
+        // budget of dirty lines before power is lost. A flushed line's
+        // current (NVM) image is durable, so its rollback image is dropped.
+        if let ProtocolState::Battery(cfg) = &self.protocol {
+            let budget = cfg.flush_budget_lines;
+            let flushed: Vec<u64> =
+                self.persisted_images.keys().copied().take(budget).collect();
+            self.stats.battery_flushes += flushed.len() as u64;
+            for addr in flushed {
+                self.persisted_images.remove(&addr);
+                self.metadata_cache.clean(addr);
+            }
+        }
+        let shadows: Vec<(u64, NodeBytes)> = self.persisted_images.drain().collect();
+        for (addr, image) in shadows {
+            self.nvm.write_block_untimed(addr, &image);
+        }
+        self.metadata_cache.clear();
+        self.timeline.reset();
+        match &mut self.protocol {
+            ProtocolState::Amnt(s) => s.crash(),
+            ProtocolState::Osiris(s) => s.crash(),
+            ProtocolState::Anubis(s) => s.crash(),
+            ProtocolState::Bmf(s) => s.crash(),
+            _ => {}
+        }
+        self.nvm.crash();
+        self.crashed = true;
+    }
+
+    /// Whether [`Self::crash`] has been called without a successful
+    /// `recover` since.
+    pub fn is_crashed(&self) -> bool {
+        self.crashed
+    }
+
+    pub(crate) fn clear_crashed(&mut self) {
+        self.crashed = false;
+    }
+
+    pub(crate) fn parts_for_recovery(
+        &mut self,
+    ) -> (&mut Nvm, &Bmt, &mut NodeBytes, &mut ProtocolState, u64) {
+        (
+            &mut self.nvm,
+            &self.bmt,
+            &mut self.root_register,
+            &mut self.protocol,
+            self.aux_base,
+        )
+    }
+
+    /// Recomputes the whole tree from the counters and compares it with the
+    /// on-chip root register — an offline consistency audit. For AMNT this
+    /// is only meaningful right after a transition or recovery (the register
+    /// intentionally diverges from the stored tree during residency).
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors.
+    pub fn audit(&mut self) -> Result<bool, IntegrityError> {
+        let root = self.root_register;
+        Ok(self.bmt.verify_full(&mut self.nvm, &root)?)
+    }
+}
+

@@ -1,0 +1,120 @@
+//! Metadata-persistence protocols.
+//!
+//! The secure-memory controller can run any of seven persistence protocols
+//! spanning the design space the paper explores:
+//!
+//! | Protocol | Counters/HMACs | Tree nodes | Recovery |
+//! |---|---|---|---|
+//! | [`Volatile`](ProtocolKind::Volatile) | lazy | lazy | impossible (baseline) |
+//! | [`Strict`](ProtocolKind::Strict) | write-through | ordered write-through | none needed |
+//! | [`Leaf`](ProtocolKind::Leaf) | write-through | lazy | full rebuild |
+//! | [`Osiris`](ProtocolKind::Osiris) | stop-loss | lazy | rebuild + counter trials |
+//! | [`Anubis`](ProtocolKind::Anubis) | stop-loss | lazy + shadow table | bounded by cache size |
+//! | [`Bmf`](ProtocolKind::Bmf) | write-through | write-through to NV root set | none needed |
+//! | [`Amnt`](ProtocolKind::Amnt) | write-through | hybrid (lazy in subtree) | bounded by subtree |
+
+mod amnt;
+mod anubis;
+mod battery;
+mod bmf;
+mod history;
+mod osiris;
+
+pub use amnt::AmntConfig;
+pub use anubis::AnubisConfig;
+pub use battery::BatteryConfig;
+pub use bmf::BmfConfig;
+pub use history::HistoryBuffer;
+pub use osiris::OsirisConfig;
+
+pub(crate) use amnt::AmntState;
+pub(crate) use anubis::AnubisState;
+pub(crate) use bmf::{BmfEntry, BmfState};
+pub(crate) use osiris::OsirisState;
+
+/// Runtime state for the active protocol, held by the controller.
+#[derive(Debug, Clone)]
+pub(crate) enum ProtocolState {
+    Volatile,
+    Strict,
+    Leaf,
+    Plp,
+    Battery(BatteryConfig),
+    Osiris(OsirisState),
+    Anubis(AnubisState),
+    Bmf(BmfState),
+    Amnt(AmntState),
+}
+
+/// Builds a fresh persistent-root-set entry.
+pub(crate) fn bmf_entry(image: amnt_bmt::NodeBytes) -> BmfEntry {
+    BmfEntry { image, freq: 0 }
+}
+
+/// Which persistence protocol the controller runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolKind {
+    /// Baseline secure memory with no crash-consistency guarantee: every
+    /// metadata structure is written back lazily. Fastest; unrecoverable.
+    Volatile,
+    /// Strict metadata persistence: every node on the ancestral path is
+    /// written through, in order, on every data write (paper §2.3).
+    Strict,
+    /// Leaf metadata persistence: data, HMAC and counter persist atomically;
+    /// tree nodes are lazy. Recovery rebuilds the whole tree (paper §2.3).
+    Leaf,
+    /// Persist-Level Parallelism (Freij et al., ref 25): strict
+    /// write-through coverage, but the per-level persists of one write are
+    /// issued in parallel instead of as an ordered chain — trading the
+    /// simple recovery argument for update bandwidth.
+    Plp,
+    /// Battery-backed metadata cache (BBB, Alshboul et al., ref 4 / paper
+    /// §7.2): run like the volatile baseline and flush dirty metadata on the
+    /// residual battery at power failure. Recoverable only if the battery
+    /// budget covers the dirty set — the open sizing question the paper
+    /// highlights, measurable here via `ControllerStats::max_stale_lines`.
+    Battery(BatteryConfig),
+    /// Osiris stop-loss counters (Ye et al., ref 82).
+    Osiris(OsirisConfig),
+    /// Anubis shadow-table tracking (Zubair & Awad, ref 85).
+    Anubis(AnubisConfig),
+    /// Bonsai Merkle Forest persistent root set (Freij et al., ref 26).
+    Bmf(BmfConfig),
+    /// A Midsummer Night's Tree — this paper's contribution.
+    Amnt(AmntConfig),
+}
+
+impl ProtocolKind {
+    /// Short lowercase name matching the paper's figure legends.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ProtocolKind::Volatile => "volatile",
+            ProtocolKind::Strict => "strict",
+            ProtocolKind::Leaf => "leaf",
+            ProtocolKind::Plp => "plp",
+            ProtocolKind::Battery(_) => "battery",
+            ProtocolKind::Osiris(_) => "osiris",
+            ProtocolKind::Anubis(_) => "anubis",
+            ProtocolKind::Bmf(_) => "bmf",
+            ProtocolKind::Amnt(_) => "amnt",
+        }
+    }
+}
+
+impl std::fmt::Display for ProtocolKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_figure_legends() {
+        assert_eq!(ProtocolKind::Volatile.name(), "volatile");
+        assert_eq!(ProtocolKind::Amnt(AmntConfig::default()).name(), "amnt");
+        assert_eq!(format!("{}", ProtocolKind::Leaf), "leaf");
+    }
+}

@@ -1,0 +1,547 @@
+//! Post-crash recovery: the functional per-protocol procedures and the
+//! analytical recovery-time model behind the paper's Table 4.
+
+use crate::controller::SecureMemory;
+use crate::error::RecoveryError;
+use crate::protocol::ProtocolState;
+use crate::untimed::NvmUntimed;
+use amnt_bmt::{set_slot, NodeId, PAGE_SIZE, TREE_ARITY};
+use std::collections::BTreeSet;
+
+/// What a recovery pass did, and whether the rebuilt state matched the
+/// non-volatile on-chip registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Device reads performed during recovery.
+    pub nvm_reads: u64,
+    /// Device bytes read during recovery.
+    pub bytes_read: u64,
+    /// Device writes performed during recovery.
+    pub nvm_writes: u64,
+    /// Counter blocks whose values had to be re-derived.
+    pub counters_recovered: u64,
+    /// Tree nodes recomputed and written back.
+    pub nodes_recomputed: u64,
+    /// Whether the rebuilt state matched the trusted register(s).
+    pub verified: bool,
+}
+
+impl SecureMemory {
+    /// Recovers the metadata state after [`SecureMemory::crash`], following
+    /// the active protocol's procedure. After a successful recovery the
+    /// stored tree is globally consistent with the on-chip root register and
+    /// normal operation may resume.
+    ///
+    /// The functional scan is proportional to *touched* memory; for
+    /// multi-terabyte projections use
+    /// [`RecoveryModel`] instead (that is what the paper's Table 4 reports).
+    ///
+    /// # Errors
+    ///
+    /// [`RecoveryError::Unrecoverable`] for the volatile baseline when any
+    /// metadata was stale, [`RecoveryError::CounterUnrecoverable`] when a
+    /// stop-loss trial fails, [`RecoveryError::RootMismatch`] when the
+    /// rebuilt tree contradicts a non-volatile register.
+    pub fn recover(&mut self) -> Result<RecoveryReport, RecoveryError> {
+        if !self.is_crashed() {
+            return Ok(RecoveryReport {
+                nvm_reads: 0,
+                bytes_read: 0,
+                nvm_writes: 0,
+                counters_recovered: 0,
+                nodes_recomputed: 0,
+                verified: true,
+            });
+        }
+        let kind = self.protocol();
+        let (nvm, _, _, _, _) = self.parts_for_recovery();
+        let before = *nvm.stats();
+        let mut counters_recovered = 0;
+        let mut nodes_recomputed = 0;
+
+        let verified = match kind {
+            crate::ProtocolKind::Volatile => {
+                let (nvm, bmt, root, _, _) = self.parts_for_recovery();
+                let root = *root;
+                let ok = bmt.verify_full(nvm, &root)?;
+                if !ok {
+                    return Err(RecoveryError::Unrecoverable {
+                        reason: "volatile metadata lost at power failure; persisted counters \
+                                 are inconsistent with the on-chip root"
+                            .to_string(),
+                    });
+                }
+                true
+            }
+            // Everything was written through (PLP's unordered persists are
+            // atomic at our crash granularity; real PLP restores ordering at
+            // recovery with a bounded scan).
+            crate::ProtocolKind::Strict | crate::ProtocolKind::Plp => true,
+            crate::ProtocolKind::Battery(_) => {
+                // Recoverable iff the battery covered the whole dirty set.
+                let (nvm, bmt, root, _, _) = self.parts_for_recovery();
+                let root = *root;
+                let ok = bmt.verify_full(nvm, &root)?;
+                if !ok {
+                    return Err(RecoveryError::Unrecoverable {
+                        reason: "battery budget did not cover the dirty metadata set; \
+                                 see ControllerStats::max_stale_lines for the required size"
+                            .to_string(),
+                    });
+                }
+                true
+            }
+            crate::ProtocolKind::Leaf => {
+                let (nvm, bmt, root, _, _) = self.parts_for_recovery();
+                nodes_recomputed = bmt.geometry().total_nodes();
+                let computed = bmt.build_full(nvm)?;
+                if computed != *root {
+                    return Err(RecoveryError::RootMismatch);
+                }
+                true
+            }
+            crate::ProtocolKind::Osiris(cfg) => {
+                counters_recovered = self.recover_all_counters(cfg.stop_loss)?;
+                let (nvm, bmt, root, _, _) = self.parts_for_recovery();
+                nodes_recomputed = bmt.geometry().total_nodes();
+                let computed = bmt.build_full(nvm)?;
+                if computed != *root {
+                    return Err(RecoveryError::RootMismatch);
+                }
+                true
+            }
+            crate::ProtocolKind::Anubis(cfg) => {
+                let (recovered, recomputed) = self.recover_anubis(cfg.stop_loss)?;
+                counters_recovered = recovered;
+                nodes_recomputed = recomputed;
+                true
+            }
+            crate::ProtocolKind::Bmf(_) => {
+                nodes_recomputed = self.recover_bmf()?;
+                true
+            }
+            crate::ProtocolKind::Amnt(_) => {
+                nodes_recomputed = self.recover_amnt()?;
+                true
+            }
+        };
+
+        let (nvm, _, _, _, _) = self.parts_for_recovery();
+        let after = *nvm.stats();
+        self.clear_crashed();
+        Ok(RecoveryReport {
+            nvm_reads: after.reads - before.reads,
+            bytes_read: after.bytes_read - before.bytes_read,
+            nvm_writes: after.writes - before.writes,
+            counters_recovered,
+            nodes_recomputed,
+            verified,
+        })
+    }
+
+    /// Osiris-style bounded re-derivation of every (touched) counter block:
+    /// each minor is advanced until the persisted data HMAC matches, up to
+    /// the stop-loss bound.
+    fn recover_all_counters(&mut self, stop_loss: u32) -> Result<u64, RecoveryError> {
+        let total = self.geometry().counter_blocks();
+        let mut recovered = 0;
+        for index in 0..total {
+            if self.recover_counter(index, stop_loss)? {
+                recovered += 1;
+            }
+        }
+        Ok(recovered)
+    }
+
+    /// Recovers one counter block; returns whether it changed.
+    fn recover_counter(&mut self, index: u64, stop_loss: u32) -> Result<bool, RecoveryError> {
+        let (nvm, bmt, _, _, _) = self.parts_for_recovery();
+        let g = bmt.geometry().clone();
+        let hasher = bmt.hasher().clone();
+        let mut counter = bmt.read_counter(nvm, index).map_err(RecoveryError::Device)?;
+        let page_base = index * PAGE_SIZE;
+        // Untouched page fast path: zero counter and zero HMACs.
+        let mut hmacs = vec![0u8; (PAGE_SIZE / 64 * 8) as usize];
+        nvm.read_bytes_untimed(g.hmac_addr(page_base), &mut hmacs);
+        if counter.is_zero() && hmacs.iter().all(|&b| b == 0) {
+            return Ok(false);
+        }
+        let mut changed = false;
+        for slot in 0..amnt_bmt::MINORS_PER_BLOCK {
+            let addr = page_base + (slot as u64) * 64;
+            if addr >= g.data_capacity() {
+                break;
+            }
+            let stored_mac =
+                u64::from_be_bytes(hmacs[slot * 8..slot * 8 + 8].try_into().expect("8 bytes"));
+            let ct = nvm.read_block_untimed(addr);
+            let base_minor = counter.minor(slot);
+            if stored_mac == 0 && base_minor == 0 && ct.iter().all(|&b| b == 0) {
+                continue; // untouched block
+            }
+            let mut found = false;
+            for k in 0..=stop_loss {
+                let minor = base_minor as u32 + k;
+                if minor > amnt_bmt::MINOR_MAX as u32 {
+                    break; // an overflow would have persisted the block
+                }
+                if hasher.data_mac(&ct, addr, counter.major(), minor as u8) == stored_mac {
+                    if k > 0 {
+                        for _ in 0..k {
+                            counter.increment(slot);
+                        }
+                        changed = true;
+                    }
+                    found = true;
+                    break;
+                }
+            }
+            if !found {
+                return Err(RecoveryError::CounterUnrecoverable { index });
+            }
+        }
+        if changed {
+            let (nvm, bmt, _, _, _) = self.parts_for_recovery();
+            bmt.write_counter(nvm, index, &counter).map_err(RecoveryError::Device)?;
+        }
+        Ok(changed)
+    }
+
+    /// Anubis: read the shadow table, re-derive the listed counters, and
+    /// recompute the listed nodes plus all their ancestors.
+    fn recover_anubis(&mut self, stop_loss: u32) -> Result<(u64, u64), RecoveryError> {
+        let lines = self.config().metadata_cache.lines();
+        let g = self.geometry().clone();
+        let mut stale_counters = Vec::new();
+        let mut to_recompute: BTreeSet<(std::cmp::Reverse<u32>, u64)> = BTreeSet::new();
+        {
+            let (nvm, _, _, _, aux_base) = self.parts_for_recovery();
+            for slot in 0..lines as u64 {
+                let tagged = nvm.read_u64(aux_base + slot * 8).map_err(RecoveryError::Device)?;
+                if tagged == 0 {
+                    continue;
+                }
+                let addr = tagged - 1;
+                if let Some(idx) = g.counter_index_of_addr(addr) {
+                    stale_counters.push(idx);
+                    for node in g.path_to_root(idx) {
+                        to_recompute.insert((std::cmp::Reverse(node.level), node.index));
+                    }
+                } else if let Some(node) = g.node_of_addr(addr) {
+                    let mut cur = Some(node);
+                    while let Some(n) = cur {
+                        if n.level < 2 {
+                            break;
+                        }
+                        to_recompute.insert((std::cmp::Reverse(n.level), n.index));
+                        cur = g.parent(n);
+                    }
+                }
+            }
+        }
+        let mut recovered = 0;
+        for idx in stale_counters {
+            if self.recover_counter(idx, stop_loss)? {
+                recovered += 1;
+            }
+        }
+        // Recompute deepest-first so children are fresh before parents.
+        let recomputed = to_recompute.len() as u64;
+        let (nvm, bmt, root, _, _) = self.parts_for_recovery();
+        for (std::cmp::Reverse(level), index) in to_recompute {
+            let node = NodeId { level, index };
+            let image = bmt.compute_node(nvm, node).map_err(RecoveryError::Device)?;
+            nvm.write_block(g.node_addr(node), &image).map_err(RecoveryError::Device)?;
+        }
+        let computed_root = bmt
+            .compute_node(nvm, NodeId { level: 1, index: 0 })
+            .map_err(RecoveryError::Device)?;
+        if computed_root != *root {
+            return Err(RecoveryError::RootMismatch);
+        }
+        Ok((recovered, recomputed))
+    }
+
+    /// BMF: fold the non-volatile root set back into memory and recompute
+    /// everything above the frontier.
+    fn recover_bmf(&mut self) -> Result<u64, RecoveryError> {
+        let g = self.geometry().clone();
+        let (nvm, bmt, root_register, protocol, _) = self.parts_for_recovery();
+        let frontier: Vec<(NodeId, amnt_bmt::NodeBytes)> = match protocol {
+            ProtocolState::Bmf(s) => {
+                s.roots.iter().map(|(id, e)| (*id, e.image)).collect()
+            }
+            _ => return Ok(0),
+        };
+        let mut ancestors: BTreeSet<(std::cmp::Reverse<u32>, u64)> = BTreeSet::new();
+        for (node, image) in &frontier {
+            if node.level < 2 {
+                continue; // a level-1 frontier entry is the root register itself
+            }
+            nvm.write_block(g.node_addr(*node), image).map_err(RecoveryError::Device)?;
+            let mut cur = g.parent(*node);
+            while let Some(n) = cur {
+                if n.level < 2 {
+                    break;
+                }
+                ancestors.insert((std::cmp::Reverse(n.level), n.index));
+                cur = g.parent(n);
+            }
+        }
+        let recomputed = ancestors.len() as u64;
+        for (std::cmp::Reverse(level), index) in ancestors {
+            let node = NodeId { level, index };
+            let image = bmt.compute_node(nvm, node).map_err(RecoveryError::Device)?;
+            nvm.write_block(g.node_addr(node), &image).map_err(RecoveryError::Device)?;
+        }
+        let computed_root = bmt
+            .compute_node(nvm, NodeId { level: 1, index: 0 })
+            .map_err(RecoveryError::Device)?;
+        if computed_root != *root_register {
+            return Err(RecoveryError::RootMismatch);
+        }
+        Ok(recomputed)
+    }
+
+    /// AMNT: rebuild the fast subtree from its counters, check it against
+    /// the non-volatile subtree register, then fold it back into the global
+    /// tree so the stored state is consistent with the root register again.
+    fn recover_amnt(&mut self) -> Result<u64, RecoveryError> {
+        let g = self.geometry().clone();
+        let (nvm, bmt, root_register, protocol, _) = self.parts_for_recovery();
+        let (id, reg_image) = match protocol {
+            ProtocolState::Amnt(s) => match s.register {
+                Some(pair) => pair,
+                None => return Ok(0), // never left strict persistence
+            },
+            _ => return Ok(0),
+        };
+        let computed = bmt.rebuild_subtree(nvm, id).map_err(RecoveryError::Device)?;
+        if computed != reg_image {
+            return Err(RecoveryError::RootMismatch);
+        }
+        // Fold the (verified) subtree root back into its strict ancestors.
+        let hasher = bmt.hasher().clone();
+        let mut child_mac = hasher.node_mac(&reg_image, id);
+        let mut child_slot = g.child_slot(id);
+        let mut cur = g.parent(id);
+        let mut folded = 0;
+        while let Some(node) = cur {
+            if node.level < 2 {
+                break;
+            }
+            let addr = g.node_addr(node);
+            let mut image = nvm.read_block(addr).map_err(RecoveryError::Device)?;
+            set_slot(&mut image, child_slot, child_mac);
+            nvm.write_block(addr, &image).map_err(RecoveryError::Device)?;
+            child_mac = hasher.node_mac(&image, node);
+            child_slot = g.child_slot(node);
+            cur = g.parent(node);
+            folded += 1;
+        }
+        set_slot(root_register, child_slot, child_mac);
+        // Stale nodes were strictly inside the subtree.
+        let stale = (g.counters_per_node(id.level) / TREE_ARITY).max(1);
+        Ok(stale + folded)
+    }
+}
+
+/// Count of devices and bandwidth behind the paper's Table 4 projection.
+///
+/// The paper assumes recovery is bound by memory bandwidth, with an 8:1
+/// read:write mix (eight children fetched per recomputed parent) over six
+/// Optane-like channels. We expose one calibrated scalar — the *effective*
+/// recovery read bandwidth — chosen so that the leaf-persistence recovery of
+/// a 2 TB memory equals the paper's 6222.21 ms anchor; every other cell then
+/// follows from stale-fraction arithmetic, which this model reproduces
+/// exactly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryModel {
+    /// Effective recovery read bandwidth in bytes/second.
+    pub effective_read_bandwidth: f64,
+    /// Osiris whole-recovery cost relative to leaf persistence (the paper's
+    /// Table 4 ratio: counter re-derivation dominates).
+    pub osiris_factor: f64,
+    /// Anubis recovery is bounded by the metadata cache, not memory size.
+    pub anubis_fixed_ms: f64,
+}
+
+impl Default for RecoveryModel {
+    fn default() -> Self {
+        // Calibration: leaf @ 2 TB = 6222.21 ms with fetch = (mem/64)*(8/7).
+        let mem = 2.0 * 1024.0f64.powi(4);
+        let fetch = mem / 64.0 * 8.0 / 7.0;
+        RecoveryModel {
+            effective_read_bandwidth: fetch / 6.22221,
+            osiris_factor: 8.1429,
+            anubis_fixed_ms: 1.30,
+        }
+    }
+}
+
+/// A protocol point in the Table 4 projection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryScenario {
+    /// Leaf persistence: the whole tree is stale.
+    Leaf,
+    /// Strict persistence: nothing is stale.
+    Strict,
+    /// Anubis: stale set bounded by the metadata cache.
+    Anubis,
+    /// Osiris: whole tree plus counter re-derivation.
+    Osiris,
+    /// BMF: nothing (beyond the on-chip frontier) is stale.
+    Bmf,
+    /// AMNT with the subtree root at the given (paper-numbered) level.
+    AmntLevel(u32),
+}
+
+impl RecoveryModel {
+    /// Fraction of the BMT that is stale at a crash under `scenario`.
+    pub fn stale_fraction(&self, scenario: RecoveryScenario) -> f64 {
+        match scenario {
+            RecoveryScenario::Leaf | RecoveryScenario::Osiris => 1.0,
+            RecoveryScenario::Strict | RecoveryScenario::Bmf => 0.0,
+            RecoveryScenario::Anubis => f64::NAN, // fixed, not a fraction
+            RecoveryScenario::AmntLevel(level) => 8f64.powi(-(level as i32 - 1)),
+        }
+    }
+
+    /// Projected recovery time in milliseconds for `memory_bytes` of
+    /// protected data (Table 4).
+    pub fn recovery_ms(&self, scenario: RecoveryScenario, memory_bytes: f64) -> f64 {
+        let counters = memory_bytes / 64.0;
+        let leaf_fetch = counters * 8.0 / 7.0;
+        let leaf_ms = leaf_fetch / self.effective_read_bandwidth * 1e3;
+        match scenario {
+            RecoveryScenario::Leaf => leaf_ms,
+            RecoveryScenario::Strict | RecoveryScenario::Bmf => 0.0,
+            RecoveryScenario::Anubis => self.anubis_fixed_ms,
+            RecoveryScenario::Osiris => leaf_ms * self.osiris_factor,
+            RecoveryScenario::AmntLevel(level) => {
+                leaf_ms * 8f64.powi(-(level as i32 - 1))
+            }
+        }
+    }
+
+    /// Converts a functional [`RecoveryReport`] into projected milliseconds
+    /// using the calibrated bandwidth.
+    pub fn measured_ms(&self, report: &RecoveryReport) -> f64 {
+        report.bytes_read as f64 / self.effective_read_bandwidth * 1e3
+    }
+
+    /// The administrator's BIOS dial (paper §6.7): the *shallowest* (largest
+    /// fast subtree, best runtime) level in `2..=max_level` whose projected
+    /// recovery time for `memory_bytes` of SCM fits within `budget_ms`.
+    /// Falls back to `max_level` when even the deepest level exceeds the
+    /// budget.
+    ///
+    /// ```
+    /// use amnt_core::RecoveryModel;
+    /// let model = RecoveryModel::default();
+    /// let tb = 2.0 * 1024f64.powi(4);
+    /// // A 100 ms downtime budget on 2 TB => subtree root at level 3.
+    /// assert_eq!(model.level_for_budget(100.0, tb, 7), 3);
+    /// ```
+    pub fn level_for_budget(&self, budget_ms: f64, memory_bytes: f64, max_level: u32) -> u32 {
+        for level in 2..=max_level {
+            if self.recovery_ms(RecoveryScenario::AmntLevel(level), memory_bytes) <= budget_ms {
+                return level;
+            }
+        }
+        max_level
+    }
+}
+
+/// Convenience: full Table 4 row labels in paper order.
+pub fn table4_scenarios() -> Vec<(&'static str, RecoveryScenario)> {
+    vec![
+        ("leaf", RecoveryScenario::Leaf),
+        ("strict", RecoveryScenario::Strict),
+        ("Anubis", RecoveryScenario::Anubis),
+        ("Osiris", RecoveryScenario::Osiris),
+        ("BMF", RecoveryScenario::Bmf),
+        ("AMNT L2", RecoveryScenario::AmntLevel(2)),
+        ("AMNT L3", RecoveryScenario::AmntLevel(3)),
+        ("AMNT L4", RecoveryScenario::AmntLevel(4)),
+    ]
+}
+
+#[cfg(test)]
+mod model_tests {
+    use super::*;
+
+    const TB: f64 = 1024.0 * 1024.0 * 1024.0 * 1024.0;
+
+    #[test]
+    fn leaf_matches_paper_anchor() {
+        let m = RecoveryModel::default();
+        let ms = m.recovery_ms(RecoveryScenario::Leaf, 2.0 * TB);
+        assert!((ms - 6222.21).abs() < 0.5, "got {ms}");
+    }
+
+    #[test]
+    fn leaf_scales_linearly_with_memory() {
+        let m = RecoveryModel::default();
+        let a = m.recovery_ms(RecoveryScenario::Leaf, 2.0 * TB);
+        let b = m.recovery_ms(RecoveryScenario::Leaf, 16.0 * TB);
+        assert!((b / a - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn amnt_levels_match_paper_rows() {
+        let m = RecoveryModel::default();
+        // Paper Table 4 at 2 TB: L2=777.77, L3=97.22, L4=12.15.
+        let l2 = m.recovery_ms(RecoveryScenario::AmntLevel(2), 2.0 * TB);
+        let l3 = m.recovery_ms(RecoveryScenario::AmntLevel(3), 2.0 * TB);
+        let l4 = m.recovery_ms(RecoveryScenario::AmntLevel(4), 2.0 * TB);
+        assert!((l2 - 777.78).abs() < 0.5, "L2 {l2}");
+        assert!((l3 - 97.22).abs() < 0.2, "L3 {l3}");
+        assert!((l4 - 12.15).abs() < 0.1, "L4 {l4}");
+    }
+
+    #[test]
+    fn strict_and_bmf_are_instant() {
+        let m = RecoveryModel::default();
+        assert_eq!(m.recovery_ms(RecoveryScenario::Strict, 128.0 * TB), 0.0);
+        assert_eq!(m.recovery_ms(RecoveryScenario::Bmf, 128.0 * TB), 0.0);
+    }
+
+    #[test]
+    fn anubis_is_memory_size_independent() {
+        let m = RecoveryModel::default();
+        assert_eq!(
+            m.recovery_ms(RecoveryScenario::Anubis, 2.0 * TB),
+            m.recovery_ms(RecoveryScenario::Anubis, 128.0 * TB)
+        );
+    }
+
+    #[test]
+    fn osiris_is_about_eight_times_leaf() {
+        let m = RecoveryModel::default();
+        let ratio = m.recovery_ms(RecoveryScenario::Osiris, 2.0 * TB)
+            / m.recovery_ms(RecoveryScenario::Leaf, 2.0 * TB);
+        assert!((ratio - 8.1429).abs() < 1e-6);
+    }
+
+    #[test]
+    fn budget_dial_picks_the_shallowest_fitting_level() {
+        let m = RecoveryModel::default();
+        let mem = 2.0 * TB;
+        // Table 4 @ 2 TB: L2 777.77, L3 97.22, L4 12.15 ms.
+        assert_eq!(m.level_for_budget(1000.0, mem, 7), 2);
+        assert_eq!(m.level_for_budget(100.0, mem, 7), 3);
+        assert_eq!(m.level_for_budget(50.0, mem, 7), 4);
+        assert_eq!(m.level_for_budget(0.001, mem, 7), 7, "impossible budget: deepest level");
+        // Bigger memory needs a deeper level for the same budget.
+        assert!(m.level_for_budget(100.0, 16.0 * TB, 7) > 3);
+    }
+
+    #[test]
+    fn stale_fractions_match_table() {
+        let m = RecoveryModel::default();
+        assert_eq!(m.stale_fraction(RecoveryScenario::Leaf), 1.0);
+        assert!((m.stale_fraction(RecoveryScenario::AmntLevel(2)) - 0.125).abs() < 1e-12);
+        assert!((m.stale_fraction(RecoveryScenario::AmntLevel(3)) - 0.015625).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,32 @@
+//! Untimed (functional-only) NVM accessors.
+//!
+//! The controller and recovery engine frequently touch the device for
+//! modelling bookkeeping where traffic statistics and timing are accounted
+//! separately (or intentionally not at all). These helpers bypass the
+//! device's traffic counters' *semantics* being conflated with model
+//! bookkeeping by keeping such accesses obviously marked at call sites.
+
+use amnt_bmt::NodeBytes;
+use amnt_nvm::Nvm;
+
+pub(crate) trait NvmUntimed {
+    fn read_block_untimed(&mut self, addr: u64) -> NodeBytes;
+    fn write_block_untimed(&mut self, addr: u64, data: &NodeBytes);
+    fn read_bytes_untimed(&mut self, addr: u64, buf: &mut [u8]);
+    fn write_bytes_untimed(&mut self, addr: u64, data: &[u8]);
+}
+
+impl NvmUntimed for Nvm {
+    fn read_block_untimed(&mut self, addr: u64) -> NodeBytes {
+        self.read_block(addr).expect("controller addresses are validated")
+    }
+    fn write_block_untimed(&mut self, addr: u64, data: &NodeBytes) {
+        self.write_block(addr, data).expect("controller addresses are validated")
+    }
+    fn read_bytes_untimed(&mut self, addr: u64, buf: &mut [u8]) {
+        self.read_bytes(addr, buf).expect("controller addresses are validated")
+    }
+    fn write_bytes_untimed(&mut self, addr: u64, data: &[u8]) {
+        self.write_bytes(addr, data).expect("controller addresses are validated")
+    }
+}

@@ -1,0 +1,180 @@
+//! HMAC-SHA-256 (RFC 2104) and the truncated 64-bit MACs used as Bonsai
+//! Merkle Tree node entries and data HMACs.
+
+use crate::sha256::Sha256;
+
+const BLOCK_SIZE: usize = 64;
+const IPAD: u8 = 0x36;
+const OPAD: u8 = 0x5c;
+
+/// A keyed HMAC-SHA-256 instance.
+///
+/// The secure-memory engine holds one of these per on-chip hash key and uses
+/// it for every integrity-tree node and data HMAC.
+///
+/// # Examples
+///
+/// ```
+/// use amnt_crypto::HmacSha256;
+///
+/// let hmac = HmacSha256::new(b"key");
+/// let tag = hmac.mac(b"The quick brown fox jumps over the lazy dog");
+/// assert_eq!(tag[0], 0xf7);
+/// ```
+#[derive(Clone)]
+pub struct HmacSha256 {
+    /// Key XOR'ed with ipad, ready to prefix the inner hash.
+    inner_pad: [u8; BLOCK_SIZE],
+    /// Key XOR'ed with opad, ready to prefix the outer hash.
+    outer_pad: [u8; BLOCK_SIZE],
+}
+
+impl std::fmt::Debug for HmacSha256 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HmacSha256").field("key", &"<redacted>").finish()
+    }
+}
+
+impl HmacSha256 {
+    /// Creates an HMAC instance for `key`.
+    ///
+    /// Keys longer than the 64-byte block size are first hashed, per RFC 2104.
+    pub fn new(key: &[u8]) -> Self {
+        let mut key_block = [0u8; BLOCK_SIZE];
+        if key.len() > BLOCK_SIZE {
+            let digest = crate::sha256(key);
+            key_block[..32].copy_from_slice(&digest);
+        } else {
+            key_block[..key.len()].copy_from_slice(key);
+        }
+        let mut inner_pad = [0u8; BLOCK_SIZE];
+        let mut outer_pad = [0u8; BLOCK_SIZE];
+        for i in 0..BLOCK_SIZE {
+            inner_pad[i] = key_block[i] ^ IPAD;
+            outer_pad[i] = key_block[i] ^ OPAD;
+        }
+        HmacSha256 { inner_pad, outer_pad }
+    }
+
+    /// Computes the full 32-byte MAC of `message`.
+    pub fn mac(&self, message: &[u8]) -> [u8; 32] {
+        let mut inner = Sha256::new();
+        inner.update(&self.inner_pad);
+        inner.update(message);
+        let inner_digest = inner.finalize();
+        let mut outer = Sha256::new();
+        outer.update(&self.outer_pad);
+        outer.update(&inner_digest);
+        outer.finalize()
+    }
+
+    /// Computes the MAC of the concatenation of several message parts,
+    /// without allocating a joined buffer.
+    pub fn mac_parts(&self, parts: &[&[u8]]) -> [u8; 32] {
+        let mut inner = Sha256::new();
+        inner.update(&self.inner_pad);
+        for part in parts {
+            inner.update(part);
+        }
+        let inner_digest = inner.finalize();
+        let mut outer = Sha256::new();
+        outer.update(&self.outer_pad);
+        outer.update(&inner_digest);
+        outer.finalize()
+    }
+
+    /// Computes a MAC truncated to 64 bits.
+    ///
+    /// Secure-memory designs (e.g. SGX's MEE) store 8-byte MACs per 64-byte
+    /// block; the integrity tree stores eight such truncated child MACs per
+    /// 64-byte node.
+    pub fn mac64(&self, message: &[u8]) -> u64 {
+        let full = self.mac(message);
+        u64::from_be_bytes(full[..8].try_into().expect("8-byte prefix"))
+    }
+
+    /// Like [`Self::mac64`] for a multi-part message.
+    pub fn mac64_parts(&self, parts: &[&[u8]]) -> u64 {
+        let full = self.mac_parts(parts);
+        u64::from_be_bytes(full[..8].try_into().expect("8-byte prefix"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(digest: &[u8]) -> String {
+        digest.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    /// RFC 4231 test case 1.
+    #[test]
+    fn rfc4231_case_1() {
+        let hmac = HmacSha256::new(&[0x0b; 20]);
+        assert_eq!(
+            hex(&hmac.mac(b"Hi There")),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    /// RFC 4231 test case 2 ("Jefe").
+    #[test]
+    fn rfc4231_case_2() {
+        let hmac = HmacSha256::new(b"Jefe");
+        assert_eq!(
+            hex(&hmac.mac(b"what do ya want for nothing?")),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    /// RFC 4231 test case 3 (0xaa key, 0xdd data).
+    #[test]
+    fn rfc4231_case_3() {
+        let hmac = HmacSha256::new(&[0xaa; 20]);
+        assert_eq!(
+            hex(&hmac.mac(&[0xdd; 50])),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    /// RFC 4231 test case 6 (key longer than the block size).
+    #[test]
+    fn rfc4231_case_6_long_key() {
+        let hmac = HmacSha256::new(&[0xaa; 131]);
+        assert_eq!(
+            hex(&hmac.mac(b"Test Using Larger Than Block-Size Key - Hash Key First")),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn mac_parts_matches_concatenation() {
+        let hmac = HmacSha256::new(b"node-key");
+        let a = b"hello ";
+        let b = b"world";
+        let joined: Vec<u8> = a.iter().chain(b.iter()).copied().collect();
+        assert_eq!(hmac.mac_parts(&[a, b]), hmac.mac(&joined));
+        assert_eq!(hmac.mac64_parts(&[a, b]), hmac.mac64(&joined));
+    }
+
+    #[test]
+    fn mac64_is_prefix_of_mac() {
+        let hmac = HmacSha256::new(b"k");
+        let full = hmac.mac(b"msg");
+        let short = hmac.mac64(b"msg");
+        assert_eq!(short.to_be_bytes(), full[..8]);
+    }
+
+    #[test]
+    fn different_keys_differ() {
+        let m = b"same message";
+        assert_ne!(HmacSha256::new(b"k1").mac(m), HmacSha256::new(b"k2").mac(m));
+    }
+
+    #[test]
+    fn debug_does_not_leak_key() {
+        let s = format!("{:?}", HmacSha256::new(b"secret"));
+        assert!(s.contains("redacted"));
+    }
+}

@@ -1,0 +1,416 @@
+//! # amnt-nvm
+//!
+//! A byte-addressable storage-class-memory (SCM/PCM) device model.
+//!
+//! The device is *functional* — it stores real bytes (sparsely, 4 KiB frames
+//! allocated on first touch) — and *timed* — it knows its read/write
+//! latencies (Table 1 of the paper: 305 ns read, 391 ns write for DDR-based
+//! PCM) and counts traffic. Crucially it is *non-volatile*: [`Nvm::crash`]
+//! leaves the media intact and only bumps a generation counter; volatility
+//! lives in the caches and controller registers built on top.
+//!
+//! ## Example
+//!
+//! ```
+//! use amnt_nvm::{Nvm, NvmConfig};
+//!
+//! let mut nvm = Nvm::new(NvmConfig::gib(1));
+//! nvm.write_block(0x40, &[7u8; 64])?;
+//! nvm.crash(); // power failure: media survives
+//! assert_eq!(nvm.read_block(0x40)?, [7u8; 64]);
+//! # Ok::<(), amnt_nvm::NvmError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::fmt;
+
+mod start_gap;
+pub use start_gap::StartGap;
+
+/// Size of a memory block (cache line) in bytes.
+pub const BLOCK_SIZE: usize = 64;
+/// Size of a backing frame in bytes.
+const FRAME_SIZE: usize = 4096;
+
+/// Device geometry and timing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NvmConfig {
+    /// Device capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Media read latency in nanoseconds (Table 1: 305 ns).
+    pub read_ns: f64,
+    /// Media write latency in nanoseconds (Table 1: 391 ns).
+    pub write_ns: f64,
+    /// Core clock used to convert latencies to cycles.
+    pub clock_ghz: f64,
+}
+
+impl NvmConfig {
+    /// A device of `gib` GiB with the paper's PCM timing at a 2 GHz core clock.
+    pub fn gib(gib: u64) -> Self {
+        NvmConfig {
+            capacity_bytes: gib * 1024 * 1024 * 1024,
+            read_ns: 305.0,
+            write_ns: 391.0,
+            clock_ghz: 2.0,
+        }
+    }
+
+    /// The paper's default 8 GiB PCM device (Table 1).
+    pub fn paper_default() -> Self {
+        Self::gib(8)
+    }
+
+    /// Media read latency in core cycles.
+    pub fn read_cycles(&self) -> u64 {
+        (self.read_ns * self.clock_ghz).round() as u64
+    }
+
+    /// Media write latency in core cycles.
+    pub fn write_cycles(&self) -> u64 {
+        (self.write_ns * self.clock_ghz).round() as u64
+    }
+}
+
+impl Default for NvmConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Errors returned by device accesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NvmError {
+    /// The access falls (partly) outside the device.
+    OutOfBounds {
+        /// Requested address.
+        addr: u64,
+        /// Requested length.
+        len: usize,
+        /// Device capacity.
+        capacity: u64,
+    },
+    /// A block access was not 64-byte aligned.
+    Misaligned {
+        /// Requested address.
+        addr: u64,
+    },
+}
+
+impl fmt::Display for NvmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NvmError::OutOfBounds { addr, len, capacity } => write!(
+                f,
+                "access of {len} bytes at {addr:#x} exceeds device capacity {capacity:#x}"
+            ),
+            NvmError::Misaligned { addr } => {
+                write!(f, "block access at {addr:#x} is not 64-byte aligned")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NvmError {}
+
+/// Traffic counters for the device.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NvmStats {
+    /// Block/byte-range reads issued.
+    pub reads: u64,
+    /// Block/byte-range writes issued.
+    pub writes: u64,
+    /// Bytes read.
+    pub bytes_read: u64,
+    /// Bytes written.
+    pub bytes_written: u64,
+}
+
+/// The SCM device.
+///
+/// See the crate-level docs for the modelling contract and an example.
+#[derive(Debug, Clone, Default)]
+pub struct Nvm {
+    config: NvmConfig,
+    frames: HashMap<u64, Box<[u8; FRAME_SIZE]>>,
+    stats: NvmStats,
+    /// Bumped on every crash; lets tests assert they really crossed one.
+    generation: u64,
+}
+
+impl Nvm {
+    /// Creates a device; all bytes read as zero until written.
+    pub fn new(config: NvmConfig) -> Self {
+        Nvm { config, frames: HashMap::new(), stats: NvmStats::default(), generation: 0 }
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> NvmConfig {
+        self.config
+    }
+
+    /// Traffic statistics.
+    pub fn stats(&self) -> &NvmStats {
+        &self.stats
+    }
+
+    /// Resets traffic statistics (e.g. at a region-of-interest boundary).
+    pub fn reset_stats(&mut self) {
+        self.stats = NvmStats::default();
+    }
+
+    /// How many crashes this device has survived.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Power failure: media persists, generation bumps.
+    ///
+    /// Volatile state (caches, on-chip volatile registers) is owned by the
+    /// layers above and must be cleared by them.
+    pub fn crash(&mut self) {
+        self.generation += 1;
+    }
+
+    fn check(&self, addr: u64, len: usize) -> Result<(), NvmError> {
+        if addr.checked_add(len as u64).is_none_or(|end| end > self.config.capacity_bytes) {
+            return Err(NvmError::OutOfBounds {
+                addr,
+                len,
+                capacity: self.config.capacity_bytes,
+            });
+        }
+        Ok(())
+    }
+
+    /// Reads `buf.len()` bytes starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// [`NvmError::OutOfBounds`] if the range exceeds the device.
+    pub fn read_bytes(&mut self, addr: u64, buf: &mut [u8]) -> Result<(), NvmError> {
+        self.check(addr, buf.len())?;
+        self.stats.reads += 1;
+        self.stats.bytes_read += buf.len() as u64;
+        let mut cursor = addr;
+        let mut remaining = buf;
+        while !remaining.is_empty() {
+            let frame_base = cursor / FRAME_SIZE as u64;
+            let offset = (cursor % FRAME_SIZE as u64) as usize;
+            let take = remaining.len().min(FRAME_SIZE - offset);
+            let (head, tail) = remaining.split_at_mut(take);
+            match self.frames.get(&frame_base) {
+                Some(frame) => head.copy_from_slice(&frame[offset..offset + take]),
+                None => head.fill(0),
+            }
+            remaining = tail;
+            cursor += take as u64;
+        }
+        Ok(())
+    }
+
+    /// Writes `data` starting at `addr`. The write is durable immediately:
+    /// timing effects (write queues, persist stalls) are modelled by the
+    /// memory controller, not the media.
+    ///
+    /// # Errors
+    ///
+    /// [`NvmError::OutOfBounds`] if the range exceeds the device.
+    pub fn write_bytes(&mut self, addr: u64, data: &[u8]) -> Result<(), NvmError> {
+        self.check(addr, data.len())?;
+        self.stats.writes += 1;
+        self.stats.bytes_written += data.len() as u64;
+        let mut cursor = addr;
+        let mut remaining = data;
+        while !remaining.is_empty() {
+            let frame_base = cursor / FRAME_SIZE as u64;
+            let offset = (cursor % FRAME_SIZE as u64) as usize;
+            let take = remaining.len().min(FRAME_SIZE - offset);
+            let frame = self
+                .frames
+                .entry(frame_base)
+                .or_insert_with(|| Box::new([0u8; FRAME_SIZE]));
+            frame[offset..offset + take].copy_from_slice(&remaining[..take]);
+            remaining = &remaining[take..];
+            cursor += take as u64;
+        }
+        Ok(())
+    }
+
+    /// Reads the 64-byte block at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// [`NvmError::Misaligned`] if `addr` is not 64-byte aligned, or
+    /// [`NvmError::OutOfBounds`].
+    pub fn read_block(&mut self, addr: u64) -> Result<[u8; BLOCK_SIZE], NvmError> {
+        if !addr.is_multiple_of(BLOCK_SIZE as u64) {
+            return Err(NvmError::Misaligned { addr });
+        }
+        let mut out = [0u8; BLOCK_SIZE];
+        self.read_bytes(addr, &mut out)?;
+        Ok(out)
+    }
+
+    /// Writes the 64-byte block at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// [`NvmError::Misaligned`] if `addr` is not 64-byte aligned, or
+    /// [`NvmError::OutOfBounds`].
+    pub fn write_block(&mut self, addr: u64, data: &[u8; BLOCK_SIZE]) -> Result<(), NvmError> {
+        if !addr.is_multiple_of(BLOCK_SIZE as u64) {
+            return Err(NvmError::Misaligned { addr });
+        }
+        self.write_bytes(addr, data)
+    }
+
+    /// Reads a little-endian `u64` at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// [`NvmError::OutOfBounds`] if the range exceeds the device.
+    pub fn read_u64(&mut self, addr: u64) -> Result<u64, NvmError> {
+        let mut buf = [0u8; 8];
+        self.read_bytes(addr, &mut buf)?;
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    /// Writes a little-endian `u64` at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// [`NvmError::OutOfBounds`] if the range exceeds the device.
+    pub fn write_u64(&mut self, addr: u64, value: u64) -> Result<(), NvmError> {
+        self.write_bytes(addr, &value.to_le_bytes())
+    }
+
+    /// Flips one bit on the media — an *active physical attack* (splicing /
+    /// corruption) helper for integrity tests. Out-of-bounds addresses panic
+    /// since this is test machinery.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is outside the device.
+    pub fn tamper_flip_bit(&mut self, addr: u64, bit: u8) {
+        assert!(addr < self.config.capacity_bytes, "tamper address out of range");
+        let mut byte = [0u8];
+        self.read_bytes(addr, &mut byte).expect("in range");
+        byte[0] ^= 1 << (bit % 8);
+        self.write_bytes(addr, &byte).expect("in range");
+        // Attacks are not device traffic.
+        self.stats.reads -= 1;
+        self.stats.writes -= 1;
+        self.stats.bytes_read -= 1;
+        self.stats.bytes_written -= 1;
+    }
+
+    /// Number of 4 KiB frames currently backed (touched).
+    pub fn resident_frames(&self) -> usize {
+        self.frames.len()
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_filled_until_written() {
+        let mut nvm = Nvm::new(NvmConfig::gib(1));
+        assert_eq!(nvm.read_block(0).unwrap(), [0u8; 64]);
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let mut nvm = Nvm::new(NvmConfig::gib(1));
+        let data: [u8; 64] = core::array::from_fn(|i| i as u8);
+        nvm.write_block(0x1000, &data).unwrap();
+        assert_eq!(nvm.read_block(0x1000).unwrap(), data);
+    }
+
+    #[test]
+    fn data_survives_crash() {
+        let mut nvm = Nvm::new(NvmConfig::gib(1));
+        nvm.write_block(0x40, &[9u8; 64]).unwrap();
+        nvm.crash();
+        assert_eq!(nvm.generation(), 1);
+        assert_eq!(nvm.read_block(0x40).unwrap(), [9u8; 64]);
+    }
+
+    #[test]
+    fn cross_frame_access() {
+        let mut nvm = Nvm::new(NvmConfig::gib(1));
+        let addr = 4096 - 32; // straddles two frames
+        let data = [0xAB; 64];
+        nvm.write_bytes(addr, &data).unwrap();
+        let mut back = [0u8; 64];
+        nvm.read_bytes(addr, &mut back).unwrap();
+        assert_eq!(back, data);
+        assert_eq!(nvm.resident_frames(), 2);
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let mut nvm = Nvm::new(NvmConfig::gib(1));
+        let cap = nvm.config().capacity_bytes;
+        assert!(matches!(
+            nvm.write_block(cap, &[0; 64]),
+            Err(NvmError::OutOfBounds { .. })
+        ));
+        assert!(nvm.read_u64(cap - 4).is_err());
+        // Boundary-exact access is fine.
+        assert!(nvm.read_block(cap - 64).is_ok());
+    }
+
+    #[test]
+    fn misaligned_block_rejected() {
+        let mut nvm = Nvm::new(NvmConfig::gib(1));
+        assert_eq!(nvm.read_block(0x41).unwrap_err(), NvmError::Misaligned { addr: 0x41 });
+        assert!(nvm.write_block(0x20, &[0; 64]).is_err());
+    }
+
+    #[test]
+    fn stats_count_traffic() {
+        let mut nvm = Nvm::new(NvmConfig::gib(1));
+        nvm.write_block(0, &[1; 64]).unwrap();
+        nvm.read_block(0).unwrap();
+        nvm.read_u64(8).unwrap();
+        let s = nvm.stats();
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.reads, 2);
+        assert_eq!(s.bytes_written, 64);
+        assert_eq!(s.bytes_read, 72);
+    }
+
+    #[test]
+    fn tamper_flips_exactly_one_bit() {
+        let mut nvm = Nvm::new(NvmConfig::gib(1));
+        nvm.write_block(0, &[0u8; 64]).unwrap();
+        let before = nvm.stats().clone();
+        nvm.tamper_flip_bit(3, 5);
+        assert_eq!(*nvm.stats(), before, "attacks are not device traffic");
+        let block = nvm.read_block(0).unwrap();
+        assert_eq!(block[3], 1 << 5);
+        assert!(block.iter().enumerate().all(|(i, b)| i == 3 || *b == 0));
+    }
+
+    #[test]
+    fn timing_conversion() {
+        let cfg = NvmConfig::paper_default();
+        assert_eq!(cfg.read_cycles(), 610);
+        assert_eq!(cfg.write_cycles(), 782);
+    }
+
+    #[test]
+    fn u64_roundtrip() {
+        let mut nvm = Nvm::new(NvmConfig::gib(1));
+        nvm.write_u64(0x123, 0xdead_beef_cafe_f00d).unwrap();
+        assert_eq!(nvm.read_u64(0x123).unwrap(), 0xdead_beef_cafe_f00d);
+    }
+}
+

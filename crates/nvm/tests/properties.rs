@@ -1,0 +1,75 @@
+//! Property-based tests for the PCM device model.
+
+use amnt_nvm::{Nvm, NvmConfig};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+proptest! {
+    /// The device is a faithful byte store under arbitrary overlapping
+    /// writes, modelled against a reference map.
+    #[test]
+    fn device_matches_reference_map(
+        writes in prop::collection::vec(
+            (0u64..1 << 16, prop::collection::vec(any::<u8>(), 1..200)),
+            1..40
+        )
+    ) {
+        let mut nvm = Nvm::new(NvmConfig::gib(1));
+        let mut reference: HashMap<u64, u8> = HashMap::new();
+        for (addr, data) in &writes {
+            nvm.write_bytes(*addr, data).unwrap();
+            for (i, &b) in data.iter().enumerate() {
+                reference.insert(addr + i as u64, b);
+            }
+        }
+        // Spot-check every written byte plus its neighbourhood.
+        for (addr, data) in &writes {
+            let mut buf = vec![0u8; data.len() + 2];
+            let start = addr.saturating_sub(1);
+            nvm.read_bytes(start, &mut buf).unwrap();
+            for (i, got) in buf.iter().enumerate() {
+                let a = start + i as u64;
+                let want = reference.get(&a).copied().unwrap_or(0);
+                prop_assert_eq!(*got, want, "byte at {:#x}", a);
+            }
+        }
+    }
+
+    /// Crashes never change media contents, regardless of history.
+    #[test]
+    fn crash_is_a_media_noop(
+        writes in prop::collection::vec((0u64..1 << 14, any::<u8>()), 1..30),
+        crashes in 1u8..4,
+    ) {
+        let mut nvm = Nvm::new(NvmConfig::gib(1));
+        for (addr, byte) in &writes {
+            nvm.write_bytes(*addr, &[*byte]).unwrap();
+        }
+        let mut snapshot = Vec::new();
+        for (addr, _) in &writes {
+            let mut b = [0u8];
+            nvm.read_bytes(*addr, &mut b).unwrap();
+            snapshot.push(b[0]);
+        }
+        for _ in 0..crashes {
+            nvm.crash();
+        }
+        for ((addr, _), want) in writes.iter().zip(snapshot) {
+            let mut b = [0u8];
+            nvm.read_bytes(*addr, &mut b).unwrap();
+            prop_assert_eq!(b[0], want);
+        }
+        prop_assert_eq!(nvm.generation(), crashes as u64);
+    }
+
+    /// Block reads and byte reads agree.
+    #[test]
+    fn block_and_byte_views_agree(block in 0u64..256, data in any::<[u8; 64]>()) {
+        let mut nvm = Nvm::new(NvmConfig::gib(1));
+        nvm.write_block(block * 64, &data).unwrap();
+        let mut bytes = [0u8; 64];
+        nvm.read_bytes(block * 64, &mut bytes).unwrap();
+        prop_assert_eq!(bytes, nvm.read_block(block * 64).unwrap());
+        prop_assert_eq!(bytes, data);
+    }
+}
