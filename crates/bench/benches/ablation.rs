@@ -1,10 +1,13 @@
 //! Ablation benches for the design choices DESIGN.md calls out: the AMNT
-//! history-buffer interval, the write-queue depth, the metadata cache size,
-//! and trusted-ancestor caching. These measure the *host cost* of the
-//! controller under each knob; the simulated-cycle ablations live in the
-//! `ablations` binary (`cargo run -p amnt-bench --bin ablations`).
+//! history-buffer interval, the write-queue depth, and the metadata cache
+//! size. These measure the *host cost* of the controller under each knob;
+//! the simulated-cycle ablations live in the `ablations` binary
+//! (`cargo run -p amnt-bench --bin ablations`).
+//!
+//! Plain `harness = false` binary timed with [`amnt_bench::time_bench`].
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use amnt_bench::time_bench;
+use std::hint::black_box;
 
 use amnt_core::{
     AmntConfig, ProtocolKind, SecureMemory, SecureMemoryConfig, WriteQueueConfig,
@@ -18,61 +21,47 @@ fn hot_and_cold_writes(mem: &mut SecureMemory, n: u64) {
     }
 }
 
-fn bench_interval_ablation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_interval");
-    g.sample_size(10);
+fn bench_interval_ablation() {
+    println!("-- ablation_interval");
     for interval in [16u32, 64, 256] {
-        g.bench_function(format!("amnt_interval_{interval}"), |b| {
-            b.iter(|| {
-                let cfg = SecureMemoryConfig::with_capacity(16 * 1024 * 1024);
-                let amnt = AmntConfig { interval_writes: interval, ..AmntConfig::default() };
-                let mut mem = SecureMemory::new(cfg, ProtocolKind::Amnt(amnt)).unwrap();
-                hot_and_cold_writes(&mut mem, black_box(2000));
-                mem.stats().subtree_transitions
-            })
+        time_bench(&format!("ablation_interval/amnt_interval_{interval}"), 10, || {
+            let cfg = SecureMemoryConfig::with_capacity(16 * 1024 * 1024);
+            let amnt = AmntConfig { interval_writes: interval, ..AmntConfig::default() };
+            let mut mem = SecureMemory::new(cfg, ProtocolKind::Amnt(amnt)).unwrap();
+            hot_and_cold_writes(&mut mem, black_box(2000));
+            mem.stats().subtree_transitions
         });
     }
-    g.finish();
 }
 
-fn bench_queue_depth_ablation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_queue_depth");
-    g.sample_size(10);
+fn bench_queue_depth_ablation() {
+    println!("-- ablation_queue_depth");
     for depth in [4usize, 32, 128] {
-        g.bench_function(format!("strict_depth_{depth}"), |b| {
-            b.iter(|| {
-                let mut cfg = SecureMemoryConfig::with_capacity(16 * 1024 * 1024);
-                cfg.write_queue = WriteQueueConfig { banks: 8, depth };
-                let mut mem = SecureMemory::new(cfg, ProtocolKind::Strict).unwrap();
-                hot_and_cold_writes(&mut mem, black_box(2000));
-                mem.snapshot().timeline.queue_stall_cycles
-            })
+        time_bench(&format!("ablation_queue_depth/strict_depth_{depth}"), 10, || {
+            let mut cfg = SecureMemoryConfig::with_capacity(16 * 1024 * 1024);
+            cfg.write_queue = WriteQueueConfig { banks: 8, depth };
+            let mut mem = SecureMemory::new(cfg, ProtocolKind::Strict).unwrap();
+            hot_and_cold_writes(&mut mem, black_box(2000));
+            mem.snapshot().timeline.queue_stall_cycles
         });
     }
-    g.finish();
 }
 
-fn bench_metadata_cache_ablation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_metadata_cache");
-    g.sample_size(10);
+fn bench_metadata_cache_ablation() {
+    println!("-- ablation_metadata_cache");
     for kb in [8usize, 64, 256] {
-        g.bench_function(format!("leaf_mdcache_{kb}kB"), |b| {
-            b.iter(|| {
-                let cfg = SecureMemoryConfig::with_capacity(16 * 1024 * 1024)
-                    .with_metadata_cache_bytes(kb * 1024);
-                let mut mem = SecureMemory::new(cfg, ProtocolKind::Leaf).unwrap();
-                hot_and_cold_writes(&mut mem, black_box(2000));
-                mem.snapshot().metadata_cache.hit_rate()
-            })
+        time_bench(&format!("ablation_metadata_cache/leaf_mdcache_{kb}kB"), 10, || {
+            let cfg = SecureMemoryConfig::with_capacity(16 * 1024 * 1024)
+                .with_metadata_cache_bytes(kb * 1024);
+            let mut mem = SecureMemory::new(cfg, ProtocolKind::Leaf).unwrap();
+            hot_and_cold_writes(&mut mem, black_box(2000));
+            mem.snapshot().metadata_cache.hit_rate()
         });
     }
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_interval_ablation,
-    bench_queue_depth_ablation,
-    bench_metadata_cache_ablation
-);
-criterion_main!(benches);
+fn main() {
+    bench_interval_ablation();
+    bench_queue_depth_ablation();
+    bench_metadata_cache_ablation();
+}

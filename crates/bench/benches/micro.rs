@@ -1,149 +1,124 @@
-//! Criterion micro-benchmarks for every substrate: crypto primitives, the
-//! cache model, BMT operations, the AMNT history buffer, the buddy
-//! allocator, and the secure-memory controller's read/write paths.
+//! Micro-benchmarks for every substrate: crypto primitives, the cache
+//! model, BMT operations, the AMNT history buffer, the buddy allocator, and
+//! the secure-memory controller's read/write paths.
+//!
+//! Plain `harness = false` binary timed with [`amnt_bench::time_bench`]
+//! (std::time, no criterion): run with `cargo bench -p amnt-bench`.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use amnt_bench::time_bench;
+use std::hint::black_box;
 
-fn bench_crypto(c: &mut Criterion) {
+fn bench_crypto() {
     use amnt_crypto::{sha256, Aes128, CtrEngine, HmacSha256};
-    let mut g = c.benchmark_group("crypto");
+    println!("-- crypto");
     let aes = Aes128::new(&[7u8; 16]);
-    g.bench_function("aes128_block", |b| {
-        let mut block = [0xABu8; 16];
-        b.iter(|| {
-            aes.encrypt_block(black_box(&mut block));
-        })
+    let mut block = [0xABu8; 16];
+    time_bench("crypto/aes128_block", 200_000, || {
+        aes.encrypt_block(black_box(&mut block));
     });
-    g.bench_function("sha256_64B", |b| {
-        let data = [0x5Au8; 64];
-        b.iter(|| sha256(black_box(&data)))
-    });
+    let data64 = [0x5Au8; 64];
+    time_bench("crypto/sha256_64B", 100_000, || sha256(black_box(&data64)));
     let hmac = HmacSha256::new(b"bench key");
-    g.bench_function("hmac_mac64_64B", |b| {
-        let data = [0xC3u8; 64];
-        b.iter(|| hmac.mac64(black_box(&data)))
-    });
+    time_bench("crypto/hmac_mac64_64B", 50_000, || hmac.mac64(black_box(&data64)));
     let engine = CtrEngine::new(&[9u8; 16]);
-    g.bench_function("ctr_encrypt_block", |b| {
-        let data = [0x11u8; 64];
-        b.iter(|| engine.encrypt_block(black_box(0x1000), 5, 3, black_box(&data)))
+    let data = [0x11u8; 64];
+    time_bench("crypto/ctr_encrypt_block", 50_000, || {
+        engine.encrypt_block(black_box(0x1000), 5, 3, black_box(&data))
     });
-    g.finish();
 }
 
-fn bench_cache(c: &mut Criterion) {
+fn bench_cache() {
     use amnt_cache::{CacheConfig, SetAssocCache};
-    let mut g = c.benchmark_group("cache");
-    g.bench_function("access_hit", |b| {
-        let mut cache = SetAssocCache::new(CacheConfig::new(64 * 1024, 8, 64)).unwrap();
-        cache.fill(0x40, false);
-        b.iter(|| cache.access(black_box(0x40), false))
+    println!("-- cache");
+    let mut cache = SetAssocCache::new(CacheConfig::new(64 * 1024, 8, 64)).unwrap();
+    cache.fill(0x40, false);
+    time_bench("cache/access_hit", 500_000, || cache.access(black_box(0x40), false));
+    let mut cache = SetAssocCache::new(CacheConfig::new(64 * 1024, 8, 64)).unwrap();
+    let mut addr = 0u64;
+    time_bench("cache/fill_evict_cycle", 500_000, || {
+        addr = addr.wrapping_add(64);
+        cache.fill(black_box(addr), addr % 128 == 0)
     });
-    g.bench_function("fill_evict_cycle", |b| {
-        let mut cache = SetAssocCache::new(CacheConfig::new(64 * 1024, 8, 64)).unwrap();
-        let mut addr = 0u64;
-        b.iter(|| {
-            addr = addr.wrapping_add(64);
-            cache.fill(black_box(addr), addr % 128 == 0)
-        })
-    });
-    g.bench_function("dirty_scan_64kB", |b| {
-        let mut cache = SetAssocCache::new(CacheConfig::new(64 * 1024, 8, 64)).unwrap();
-        for i in 0..1024u64 {
-            cache.fill(i * 64, i % 3 == 0);
-        }
-        b.iter(|| cache.dirty_lines().count())
-    });
-    g.finish();
+    let mut cache = SetAssocCache::new(CacheConfig::new(64 * 1024, 8, 64)).unwrap();
+    for i in 0..1024u64 {
+        cache.fill(i * 64, i % 3 == 0);
+    }
+    time_bench("cache/dirty_scan_64kB", 10_000, || cache.dirty_lines().count());
 }
 
-fn bench_bmt(c: &mut Criterion) {
+fn bench_bmt() {
     use amnt_bmt::{Bmt, BmtGeometry, CounterBlock};
     use amnt_nvm::{Nvm, NvmConfig};
-    let mut g = c.benchmark_group("bmt");
-    g.bench_function("counter_encode_decode", |b| {
-        let mut ctr = CounterBlock::new();
-        for slot in 0..64 {
-            for _ in 0..(slot % 7) {
-                ctr.increment(slot);
-            }
+    println!("-- bmt");
+    let mut ctr = CounterBlock::new();
+    for slot in 0..64 {
+        for _ in 0..(slot % 7) {
+            ctr.increment(slot);
         }
-        b.iter(|| CounterBlock::decode(black_box(&ctr.encode())))
+    }
+    time_bench("bmt/counter_encode_decode", 100_000, || {
+        CounterBlock::decode(black_box(&ctr.encode()))
     });
-    g.bench_function("compute_node_8_children", |b| {
-        let geometry = BmtGeometry::new(2 * 1024 * 1024).unwrap();
-        let bmt = Bmt::new(geometry, b"bench");
-        let mut nvm = Nvm::new(NvmConfig::gib(1));
-        for i in 0..8u64 {
-            let mut ctr = CounterBlock::new();
-            ctr.increment(i as usize % 64);
-            bmt.write_counter(&mut nvm, i, &ctr).unwrap();
-        }
-        let node = amnt_bmt::NodeId { level: bmt.geometry().bottom_level(), index: 0 };
-        b.iter(|| bmt.compute_node(black_box(&mut nvm), node).unwrap())
+    let geometry = BmtGeometry::new(2 * 1024 * 1024).unwrap();
+    let bmt = Bmt::new(geometry, b"bench");
+    let mut nvm = Nvm::new(NvmConfig::gib(1));
+    for i in 0..8u64 {
+        let mut c = CounterBlock::new();
+        c.increment(i as usize % 64);
+        bmt.write_counter(&mut nvm, i, &c).unwrap();
+    }
+    let node = amnt_bmt::NodeId { level: bmt.geometry().bottom_level(), index: 0 };
+    time_bench("bmt/compute_node_8_children", 10_000, || {
+        bmt.compute_node(black_box(&mut nvm), node).unwrap()
     });
-    g.bench_function("build_full_2MiB", |b| {
-        let geometry = BmtGeometry::new(2 * 1024 * 1024).unwrap();
-        let bmt = Bmt::new(geometry, b"bench");
-        let mut nvm = Nvm::new(NvmConfig::gib(1));
-        let mut ctr = CounterBlock::new();
-        ctr.increment(0);
-        bmt.write_counter(&mut nvm, 0, &ctr).unwrap();
-        b.iter(|| bmt.build_full(black_box(&mut nvm)).unwrap())
-    });
-    g.finish();
+    let geometry = BmtGeometry::new(2 * 1024 * 1024).unwrap();
+    let bmt = Bmt::new(geometry, b"bench");
+    let mut nvm = Nvm::new(NvmConfig::gib(1));
+    let mut c = CounterBlock::new();
+    c.increment(0);
+    bmt.write_counter(&mut nvm, 0, &c).unwrap();
+    time_bench("bmt/build_full_2MiB", 20, || bmt.build_full(black_box(&mut nvm)).unwrap());
 }
 
-fn bench_history_buffer(c: &mut Criterion) {
+fn bench_history_buffer() {
     use amnt_core::HistoryBuffer;
-    let mut g = c.benchmark_group("history_buffer");
-    g.bench_function("record_resident_region", |b| {
-        let mut hb = HistoryBuffer::new(64);
-        for r in 0..64 {
-            hb.record(r);
-        }
-        let mut r = 0u64;
-        b.iter(|| {
-            r = (r + 1) % 64;
-            hb.record(black_box(r))
-        })
+    println!("-- history_buffer");
+    let mut hb = HistoryBuffer::new(64);
+    for r in 0..64 {
+        hb.record(r);
+    }
+    let mut r = 0u64;
+    time_bench("history_buffer/record_resident_region", 500_000, || {
+        r = (r + 1) % 64;
+        hb.record(black_box(r))
     });
-    g.bench_function("record_with_replacement", |b| {
-        let mut hb = HistoryBuffer::new(64);
-        let mut r = 0u64;
-        b.iter(|| {
-            r += 1; // always a fresh region: worst case
-            hb.record(black_box(r))
-        })
+    let mut hb = HistoryBuffer::new(64);
+    let mut r = 0u64;
+    time_bench("history_buffer/record_with_replacement", 500_000, || {
+        r += 1; // always a fresh region: worst case
+        hb.record(black_box(r))
     });
-    g.finish();
 }
 
-fn bench_buddy(c: &mut Criterion) {
+fn bench_buddy() {
     use amnt_os::BuddyAllocator;
-    let mut g = c.benchmark_group("buddy");
-    g.bench_function("alloc_free_page", |b| {
-        let mut buddy = BuddyAllocator::new(1 << 16);
-        b.iter(|| {
-            let pfn = buddy.alloc_pages(0).unwrap();
-            buddy.free_pages(black_box(pfn));
-        })
+    println!("-- buddy");
+    let mut buddy = BuddyAllocator::new(1 << 16);
+    time_bench("buddy/alloc_free_page", 200_000, || {
+        let pfn = buddy.alloc_pages(0).unwrap();
+        buddy.free_pages(black_box(pfn));
     });
-    g.bench_function("restructure_4k_chunks", |b| {
-        let mut buddy = BuddyAllocator::new(1 << 14);
-        let pfns: Vec<u64> = (0..(1 << 14)).map(|_| buddy.alloc_pages(0).unwrap()).collect();
-        for &p in pfns.iter().step_by(4) {
-            buddy.free_pages(p);
-        }
-        b.iter(|| buddy.restructure(|pfn| black_box(pfn) / 512))
-    });
-    g.finish();
+    let mut buddy = BuddyAllocator::new(1 << 14);
+    let pfns: Vec<u64> = (0..(1 << 14)).map(|_| buddy.alloc_pages(0).unwrap()).collect();
+    for &p in pfns.iter().step_by(4) {
+        buddy.free_pages(p);
+    }
+    time_bench("buddy/restructure_4k_chunks", 200, || buddy.restructure(|pfn| black_box(pfn) / 512));
 }
 
-fn bench_controller(c: &mut Criterion) {
+fn bench_controller() {
     use amnt_core::{AmntConfig, ProtocolKind, SecureMemory, SecureMemoryConfig};
-    let mut g = c.benchmark_group("controller");
-    g.sample_size(40);
+    println!("-- controller");
     let setup = |kind: ProtocolKind| {
         let cfg = SecureMemoryConfig::with_capacity(16 * 1024 * 1024);
         let mut mem = SecureMemory::new(cfg, kind).unwrap();
@@ -160,77 +135,62 @@ fn bench_controller(c: &mut Criterion) {
     ] {
         let mut mem = setup(kind.1);
         let mut i = 0u64;
-        g.bench_function(format!("write_block_{}", kind.0), |b| {
-            b.iter(|| {
-                i = (i + 1) % 256;
-                mem.write_block(0, black_box(i * 64), &[i as u8; 64]).unwrap()
-            })
+        time_bench(&format!("controller/write_block_{}", kind.0), 20_000, || {
+            i = (i + 1) % 256;
+            mem.write_block(0, black_box(i * 64), &[i as u8; 64]).unwrap()
         });
     }
     let mut mem = setup(ProtocolKind::Leaf);
     let mut i = 0u64;
-    g.bench_function("read_block_verified", |b| {
-        b.iter(|| {
-            i = (i + 1) % 256;
-            mem.read_block(0, black_box(i * 64)).unwrap()
-        })
+    time_bench("controller/read_block_verified", 20_000, || {
+        i = (i + 1) % 256;
+        mem.read_block(0, black_box(i * 64)).unwrap()
     });
-    g.finish();
 }
 
-fn bench_extensions(c: &mut Criterion) {
+fn bench_extensions() {
     use amnt_bmt::SgxTree;
     use amnt_core::{HybridConfig, HybridMemory};
     use amnt_nvm::{Nvm, NvmConfig, StartGap};
-    let mut g = c.benchmark_group("extensions");
-    g.sample_size(40);
-    g.bench_function("sgx_tree_bump", |b| {
-        let mut tree = SgxTree::new(4096, 0x10000, b"bench");
-        let mut nvm = Nvm::new(NvmConfig::gib(1));
-        let mut unit = 0u64;
-        b.iter(|| {
-            unit = (unit + 1) % 4096;
-            tree.bump(&mut nvm, black_box(unit)).unwrap()
-        })
+    println!("-- extensions");
+    let mut tree = SgxTree::new(4096, 0x10000, b"bench");
+    let mut nvm = Nvm::new(NvmConfig::gib(1));
+    let mut unit = 0u64;
+    time_bench("extensions/sgx_tree_bump", 20_000, || {
+        unit = (unit + 1) % 4096;
+        tree.bump(&mut nvm, black_box(unit)).unwrap()
     });
-    g.bench_function("sgx_tree_verify", |b| {
-        let mut tree = SgxTree::new(4096, 0x10000, b"bench");
-        let mut nvm = Nvm::new(NvmConfig::gib(1));
-        for u in 0..64 {
-            tree.bump(&mut nvm, u).unwrap();
-        }
-        b.iter(|| tree.verify(&mut nvm, black_box(37)).unwrap())
+    let mut tree = SgxTree::new(4096, 0x10000, b"bench");
+    let mut nvm = Nvm::new(NvmConfig::gib(1));
+    for u in 0..64 {
+        tree.bump(&mut nvm, u).unwrap();
+    }
+    time_bench("extensions/sgx_tree_verify", 20_000, || {
+        tree.verify(&mut nvm, black_box(37)).unwrap()
     });
-    g.bench_function("start_gap_write", |b| {
-        let mut sg = StartGap::new(0x20000, 1024, 8);
-        let mut nvm = Nvm::new(NvmConfig::gib(1));
-        let mut line = 0u64;
-        b.iter(|| {
-            line = (line + 7) % 1024;
-            sg.write_line(&mut nvm, black_box(line), &[3u8; 64]).unwrap()
-        })
+    let mut sg = StartGap::new(0x20000, 1024, 8);
+    let mut nvm = Nvm::new(NvmConfig::gib(1));
+    let mut line = 0u64;
+    time_bench("extensions/start_gap_write", 50_000, || {
+        line = (line + 7) % 1024;
+        sg.write_line(&mut nvm, black_box(line), &[3u8; 64]).unwrap()
     });
-    g.bench_function("hybrid_write_scm", |b| {
-        let mut mem = HybridMemory::new(HybridConfig::new(1 << 20, 8 << 20)).unwrap();
-        let mut t = 0;
-        let mut i = 0u64;
-        b.iter(|| {
-            i = (i + 1) % 128;
-            t = mem.write_block(t, (1 << 20) + i * 64, &[i as u8; 64]).unwrap();
-            t
-        })
+    let mut mem = HybridMemory::new(HybridConfig::new(1 << 20, 8 << 20)).unwrap();
+    let mut t = 0;
+    let mut i = 0u64;
+    time_bench("extensions/hybrid_write_scm", 20_000, || {
+        i = (i + 1) % 128;
+        t = mem.write_block(t, (1 << 20) + i * 64, &[i as u8; 64]).unwrap();
+        t
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_crypto,
-    bench_cache,
-    bench_bmt,
-    bench_history_buffer,
-    bench_buddy,
-    bench_controller,
-    bench_extensions
-);
-criterion_main!(benches);
+fn main() {
+    bench_crypto();
+    bench_cache();
+    bench_bmt();
+    bench_history_buffer();
+    bench_buddy();
+    bench_controller();
+    bench_extensions();
+}

@@ -15,10 +15,10 @@
 //! `AMNT_WARMUP`, `AMNT_SEED`.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 use amnt_core::{AmntConfig, AnubisConfig, BmfConfig, ProtocolKind};
 use amnt_sim::{RunLength, SimReport};
-use serde::Serialize;
 use std::io::Write as _;
 use std::path::PathBuf;
 
@@ -56,7 +56,7 @@ pub fn gmean(xs: &[f64]) -> f64 {
 }
 
 /// One cell of a result table, serialised to JSON.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Cell {
     /// Row label (benchmark / scenario).
     pub row: String,
@@ -67,7 +67,7 @@ pub struct Cell {
 }
 
 /// A complete experiment result, serialised to `results/<id>.json`.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ExperimentResult {
     /// Experiment id ("fig4", "table2", ...).
     pub id: String,
@@ -88,6 +88,35 @@ impl ExperimentResult {
         self.cells.push(Cell { row: row.to_string(), col: col.to_string(), value });
     }
 
+    /// Serialises the result to pretty-printed JSON.
+    ///
+    /// Hand-rolled (no `serde`): the schema is three fixed fields and the
+    /// workspace builds with zero external crates. Non-finite values (NaN /
+    /// ±inf have no JSON representation) serialise as `null`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(128 + self.cells.len() * 64);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"id\": {},\n", json_string(&self.id)));
+        out.push_str(&format!("  \"metric\": {},\n", json_string(&self.metric)));
+        out.push_str("  \"cells\": [");
+        for (i, c) in self.cells.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{ \"row\": {}, \"col\": {}, \"value\": {} }}",
+                json_string(&c.row),
+                json_string(&c.col),
+                json_number(c.value)
+            ));
+        }
+        if !self.cells.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
     /// Writes the JSON artifact under `results/` and returns the path.
     ///
     /// # Errors
@@ -98,9 +127,43 @@ impl ExperimentResult {
         std::fs::create_dir_all(&dir)?;
         let path = dir.join(format!("{}.json", self.id));
         let mut f = std::fs::File::create(&path)?;
-        let json = serde_json::to_string_pretty(self).expect("serialisable");
-        f.write_all(json.as_bytes())?;
+        f.write_all(self.to_json().as_bytes())?;
         Ok(path)
+    }
+}
+
+/// A JSON string literal (quoted, with the mandatory escapes).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A JSON number literal; non-finite values become `null`.
+fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        // `{}` prints integral floats without a dot; keep them JSON numbers
+        // that read back as floats.
+        if s.contains('.') || s.contains('e') || s.contains('E') {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    } else {
+        "null".to_string()
     }
 }
 
@@ -133,6 +196,26 @@ pub fn print_table(title: &str, cols: &[&str], rows: &[(String, Vec<f64>)]) {
     }
 }
 
+/// Times `iters` calls of `f`, prints `ns/iter`, and returns it.
+///
+/// The support routine behind the `harness = false` bench binaries
+/// (`benches/micro.rs`, `benches/ablation.rs`): a short warmup, then one
+/// timed pass over `std::hint::black_box`. Good enough for the relative
+/// host-cost comparisons those benches exist for; simulated-cycle numbers
+/// come from the experiment binaries, not from wall-clock timing.
+pub fn time_bench<T>(name: &str, iters: u64, mut f: impl FnMut() -> T) -> f64 {
+    for _ in 0..(iters / 10).clamp(1, 1000) {
+        std::hint::black_box(f());
+    }
+    let start = std::time::Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    let per = start.elapsed().as_nanos() as f64 / iters as f64;
+    println!("{name:<44} {iters:>9} iters {per:>14.1} ns/iter");
+    per
+}
+
 /// Prints a paper-vs-measured comparison line.
 pub fn compare(label: &str, paper: f64, measured: f64) {
     println!("  {label:<44} paper {paper:>10.3}   measured {measured:>10.3}");
@@ -155,12 +238,32 @@ mod tests {
     }
 
     #[test]
-    fn result_roundtrips_to_json() {
+    fn result_serialises_to_json() {
         let mut r = ExperimentResult::new("test", "unitless");
         r.push("row", "col", 1.25);
-        let json = serde_json::to_string(&r).unwrap();
-        assert!(json.contains("\"test\""));
-        assert!(json.contains("1.25"));
+        let json = r.to_json();
+        assert!(json.contains("\"id\": \"test\""));
+        assert!(json.contains("\"metric\": \"unitless\""));
+        assert!(json.contains("\"value\": 1.25"));
+    }
+
+    #[test]
+    fn json_escapes_and_non_finite_values() {
+        let mut r = ExperimentResult::new("quo\"te", "tab\tline\nback\\slash");
+        r.push("nan", "c", f64::NAN);
+        r.push("inf", "c", f64::INFINITY);
+        r.push("int", "c", 3.0);
+        let json = r.to_json();
+        assert!(json.contains(r#""id": "quo\"te""#));
+        assert!(json.contains(r#""metric": "tab\tline\nback\\slash""#));
+        assert_eq!(json.matches("\"value\": null").count(), 2);
+        assert!(json.contains("\"value\": 3.0"), "integral floats keep a dot");
+    }
+
+    #[test]
+    fn empty_result_is_valid_json() {
+        let r = ExperimentResult::new("empty", "m");
+        assert!(r.to_json().contains("\"cells\": []"));
     }
 
     #[test]

@@ -335,7 +335,6 @@ impl BmtGeometry {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     fn mib(n: u64) -> u64 {
         n * 1024 * 1024
@@ -447,44 +446,56 @@ mod tests {
         assert_eq!(root_children.len(), 2);
     }
 
-    proptest! {
-        #[test]
-        fn parent_child_consistency(pages in 1u64..5000, counter in 0u64..5000) {
+    // Seeded deterministic property loops (amnt-prng replaces proptest).
+
+    #[test]
+    fn parent_child_consistency() {
+        let mut rng = amnt_prng::Rng::seed_from_u64(0x6E0_0001);
+        for _ in 0..256 {
+            let pages = rng.gen_range(1..5000);
             let g = BmtGeometry::new(pages * PAGE_SIZE).unwrap();
-            let counter = counter % g.counter_blocks();
+            let counter = rng.gen_range(0..5000) % g.counter_blocks();
             let path = g.path_to_root(counter);
             // Path is strictly ascending toward the root and parent-linked.
             for w in path.windows(2) {
-                prop_assert_eq!(g.parent(w[0]).unwrap(), w[1]);
+                assert_eq!(g.parent(w[0]).unwrap(), w[1]);
             }
             if let Some(top) = path.last() {
-                prop_assert_eq!(top.level, 2);
-                prop_assert_eq!(g.parent(*top).unwrap(), NodeId { level: 1, index: 0 });
+                assert_eq!(top.level, 2);
+                assert_eq!(g.parent(*top).unwrap(), NodeId { level: 1, index: 0 });
             }
         }
+    }
 
-        #[test]
-        fn every_node_addr_unique(pages in 2u64..2000) {
+    #[test]
+    fn every_node_addr_unique() {
+        let mut rng = amnt_prng::Rng::seed_from_u64(0x6E0_0002);
+        for _ in 0..48 {
+            let pages = rng.gen_range(2..2000);
             let g = BmtGeometry::new(pages * PAGE_SIZE).unwrap();
             let mut seen = std::collections::HashSet::new();
             for level in 2..=g.bottom_level() {
                 for index in 0..g.level_size(level) {
                     let addr = g.node_addr(NodeId { level, index });
-                    prop_assert!(seen.insert(addr), "duplicate node address {:#x}", addr);
-                    prop_assert_eq!(addr % BLOCK_SIZE, 0);
+                    assert!(seen.insert(addr), "duplicate node address {addr:#x}");
+                    assert_eq!(addr % BLOCK_SIZE, 0);
                 }
             }
         }
+    }
 
-        #[test]
-        fn subtree_index_matches_ancestor(pages in 64u64..4096, addr_page in 0u64..4096, level in 1u32..4) {
+    #[test]
+    fn subtree_index_matches_ancestor() {
+        let mut rng = amnt_prng::Rng::seed_from_u64(0x6E0_0003);
+        for _ in 0..256 {
+            let pages = rng.gen_range(64..4096);
             let g = BmtGeometry::new(pages * PAGE_SIZE).unwrap();
-            let level = level.min(g.bottom_level());
-            let addr = (addr_page % pages) * PAGE_SIZE;
+            let level = rng.gen_range_u32(1..4).min(g.bottom_level());
+            let addr = (rng.gen_range(0..4096) % pages) * PAGE_SIZE;
             let region = g.subtree_index(addr, level);
-            prop_assert!(region < g.level_size(level));
+            assert!(region < g.level_size(level));
             let region_node = NodeId { level, index: region };
-            prop_assert!(g.counter_in_subtree(g.counter_index(addr), region_node));
+            assert!(g.counter_in_subtree(g.counter_index(addr), region_node));
         }
     }
 }

@@ -1,36 +1,36 @@
-//! Property-based tests over whole-tree operations.
+//! Property-based tests over whole-tree operations: seeded deterministic
+//! loops over `amnt_prng` (replacing proptest, which the offline workspace
+//! cannot depend on). Failures replay exactly — rerun the same test.
 
 use amnt_bmt::{Bmt, BmtGeometry, NodeId, PAGE_SIZE};
 use amnt_nvm::{Nvm, NvmConfig};
-use proptest::prelude::*;
+use amnt_prng::Rng;
 
 fn setup(pages: u64) -> (Bmt, Nvm) {
     let geometry = BmtGeometry::new(pages * PAGE_SIZE).expect("valid");
     (Bmt::new(geometry, b"prop key"), Nvm::new(NvmConfig::gib(1)))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
-
-    /// After arbitrary counter churn, a full build always verifies, and any
-    /// subtree rebuild leaves the tree equivalent to a full rebuild.
-    #[test]
-    fn subtree_rebuild_equals_full_rebuild(
-        pages in 16u64..600,
-        updates in prop::collection::vec((0u64..600, 0usize..64), 1..40),
-        subtree_seed in any::<u64>(),
-    ) {
+/// After arbitrary counter churn, a full build always verifies, and any
+/// subtree rebuild leaves the tree equivalent to a full rebuild.
+#[test]
+fn subtree_rebuild_equals_full_rebuild() {
+    let mut rng = Rng::seed_from_u64(0x7EE_0001);
+    for _ in 0..24 {
+        let pages = rng.gen_range(16..600);
         let (bmt, mut nvm) = setup(pages);
-        for (idx, slot) in updates {
-            let idx = idx % pages;
+        for _ in 0..rng.gen_range(1..40) {
+            let idx = rng.gen_range(0..600) % pages;
+            let slot = rng.gen_range_usize(0..64);
             let mut c = bmt.read_counter(&mut nvm, idx).unwrap();
             c.increment(slot);
             bmt.write_counter(&mut nvm, idx, &c).unwrap();
         }
         let root_full = bmt.build_full(&mut nvm).unwrap();
-        prop_assert!(bmt.verify_full(&mut nvm, &root_full).unwrap());
+        assert!(bmt.verify_full(&mut nvm, &root_full).unwrap());
 
         // More churn, then rebuild only the subtree containing it.
+        let subtree_seed = rng.next_u64();
         let g = bmt.geometry().clone();
         let victim = subtree_seed % g.counter_blocks();
         let mut c = bmt.read_counter(&mut nvm, victim).unwrap();
@@ -45,19 +45,20 @@ proptest! {
             let via_subtree_then_full = bmt.build_full(&mut nvm).unwrap();
             let mut nvm2 = nvm.clone();
             let direct = bmt.build_full(&mut nvm2).unwrap();
-            prop_assert_eq!(via_subtree_then_full, direct);
+            assert_eq!(via_subtree_then_full, direct);
         }
     }
+}
 
-    /// Any single bit flip in a touched counter is caught by full
-    /// verification against an honest root.
-    #[test]
-    fn bit_flips_in_counters_always_detected(
-        pages in 16u64..200,
-        victim in any::<u64>(),
-        bit in 0u8..8,
-        byte in 0u64..64,
-    ) {
+/// Any single bit flip in a touched counter is caught by full verification
+/// against an honest root.
+#[test]
+fn bit_flips_in_counters_always_detected() {
+    let mut rng = Rng::seed_from_u64(0x7EE_0002);
+    for _ in 0..24 {
+        let pages = rng.gen_range(16..200);
+        let bit = rng.gen_range(0..8) as u8;
+        let byte = rng.gen_range(0..64);
         let (bmt, mut nvm) = setup(pages);
         let g = bmt.geometry().clone();
         // Touch every 5th counter so the tree is non-trivial.
@@ -67,16 +68,20 @@ proptest! {
             bmt.write_counter(&mut nvm, idx, &c).unwrap();
         }
         let root = bmt.build_full(&mut nvm).unwrap();
-        let victim = (victim % pages.div_ceil(5)) * 5; // a touched counter
+        let victim = (rng.next_u64() % pages.div_ceil(5)) * 5; // a touched counter
         nvm.tamper_flip_bit(g.counter_addr(victim.min(pages - 1)) + byte, bit);
-        prop_assert!(!bmt.verify_full(&mut nvm, &root).unwrap());
+        assert!(!bmt.verify_full(&mut nvm, &root).unwrap());
     }
+}
 
-    /// NodeId display is stable.
-    #[test]
-    fn node_display_roundtrip(level in 1u32..6, index in 0u64..4096) {
+/// NodeId display is stable.
+#[test]
+fn node_display_roundtrip() {
+    let mut rng = Rng::seed_from_u64(0x7EE_0003);
+    for _ in 0..64 {
+        let level = rng.gen_range_u32(1..6);
+        let index = rng.gen_range(0..4096);
         let id = NodeId { level, index };
-        let shown = format!("{id}");
-        prop_assert_eq!(shown, format!("L{}#{}", level, index));
+        assert_eq!(format!("{id}"), format!("L{level}#{index}"));
     }
 }

@@ -34,7 +34,7 @@ use amnt_bmt::{
 use amnt_cache::SetAssocCache;
 use amnt_crypto::CtrEngine;
 use amnt_nvm::{Nvm, NvmConfig};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Size of a data block in bytes.
 pub const BLOCK_SIZE: usize = 64;
@@ -65,7 +65,7 @@ pub struct SecureMemory {
     /// On-chip non-volatile root register: the level-1 node image.
     root_register: NodeBytes,
     /// Last-persisted images of currently-dirty metadata lines.
-    persisted_images: HashMap<u64, NodeBytes>,
+    persisted_images: BTreeMap<u64, NodeBytes>,
     protocol: ProtocolState,
     /// Base of the auxiliary region (Anubis shadow table) in NVM.
     aux_base: u64,
@@ -130,7 +130,7 @@ impl SecureMemory {
             metadata_cache,
             timeline,
             root_register: [0u8; 64],
-            persisted_images: HashMap::new(),
+            persisted_images: BTreeMap::new(),
             protocol,
             aux_base,
             stats: ControllerStats::default(),
@@ -215,7 +215,12 @@ impl SecureMemory {
 
     /// Fills `addr` into the metadata cache, handling the eviction writeback
     /// and the Anubis shadow-table hook. Returns the updated time.
-    fn meta_fill(&mut self, mut t: u64, addr: u64, dirty: bool) -> u64 {
+    ///
+    /// # Errors
+    ///
+    /// [`IntegrityError::Device`] if the Anubis shadow-table slot cannot be
+    /// written (aux region misconfigured).
+    fn meta_fill(&mut self, mut t: u64, addr: u64, dirty: bool) -> Result<u64, IntegrityError> {
         if let Some(ev) = self.metadata_cache.fill(addr, dirty) {
             if ev.dirty {
                 // Lazy writeback: the line's current image becomes persisted.
@@ -231,7 +236,7 @@ impl SecureMemory {
             let slot = s.assign_slot(addr);
             let slot_addr = self.aux_base + slot as u64 * 8;
             // Tag with addr+1 so zero means "empty slot".
-            self.nvm.write_u64(slot_addr, addr + 1).expect("aux region in range");
+            self.nvm.write_u64(slot_addr, addr + 1)?;
             // The shadow-table update must be durable atomically with the
             // cache-state change (paper §7.3) — this is Anubis's slow path
             // on every metadata cache miss. The write is issued as soon as
@@ -243,7 +248,7 @@ impl SecureMemory {
             // The shadow Merkle tree is fully cached on-chip: latency only.
             t += self.config.timing.hash;
         }
-        t
+        Ok(t)
     }
 
     /// Remembers the last-persisted image of `addr` before a lazy update, if
@@ -294,7 +299,9 @@ impl SecureMemory {
                     let mac = self.bmt.hasher().node_mac(&bytes, node);
                     self.stats.hashes += 1;
                     t += self.config.timing.hash;
-                    let parent = g.parent(node).expect("level >= 2 has a parent");
+                    let parent = g
+                        .parent(node)
+                        .ok_or(IntegrityError::Invariant { what: "stored node has a parent" })?;
                     (bytes, mac, g.child_slot(node), parent)
                 }
             };
@@ -358,13 +365,15 @@ impl SecureMemory {
                 return Ok(t);
             }
             // The fetched ancestor itself needs verification one level up.
-            t = self.meta_fill(t, addr, false);
+            t = self.meta_fill(t, addr, false)?;
             child_mac = self.bmt.hasher().node_mac(&bytes, cur);
             self.stats.hashes += 1;
             t += self.config.timing.hash;
             child_bytes = bytes;
             slot = g.child_slot(cur);
-            cur = g.parent(cur).expect("level >= 2 has a parent");
+            cur = g
+                .parent(cur)
+                .ok_or(IntegrityError::Invariant { what: "stored node has a parent" })?;
         }
     }
 
@@ -377,7 +386,7 @@ impl SecureMemory {
             t = self.timeline.read(t, addr);
             self.stats.metadata_fetches += 1;
             t = self.verify_up(t, ChildRef::Counter(index))?;
-            t = self.meta_fill(t, addr, false);
+            t = self.meta_fill(t, addr, false)?;
         }
         let bytes = self.nvm.read_block_untimed(addr);
         Ok((CounterBlock::decode(&bytes), t))
@@ -392,7 +401,7 @@ impl SecureMemory {
             t = self.timeline.read(t, addr);
             self.stats.metadata_fetches += 1;
             t = self.verify_up(t, ChildRef::Node(node))?;
-            t = self.meta_fill(t, addr, false);
+            t = self.meta_fill(t, addr, false)?;
         }
         Ok(t)
     }
@@ -407,7 +416,7 @@ impl SecureMemory {
         } else {
             t = self.timeline.read(t, line);
             self.stats.metadata_fetches += 1;
-            t = self.meta_fill(t, line, false);
+            t = self.meta_fill(t, line, false)?;
         }
         let mut buf = [0u8; 8];
         self.nvm.read_bytes_untimed(hmac_addr, &mut buf);
@@ -576,7 +585,7 @@ impl SecureMemory {
         if !self.metadata_cache.contains(hmac_line) {
             t = self.timeline.read(t, hmac_line);
             self.stats.metadata_fetches += 1;
-            t = self.meta_fill(t, hmac_line, false);
+            t = self.meta_fill(t, hmac_line, false)?;
         } else {
             self.metadata_cache.access(hmac_line, false);
             t += self.config.timing.metadata_cache;
@@ -951,7 +960,7 @@ impl SecureMemory {
             t = self.timeline.read(t, new_addr);
             self.stats.metadata_fetches += 1;
             t = self.verify_up(t, ChildRef::Node(winner_id))?;
-            t = self.meta_fill(t, new_addr, false);
+            t = self.meta_fill(t, new_addr, false)?;
         }
         let image = self.nvm.read_block_untimed(new_addr);
         if let ProtocolState::Amnt(s) = &mut self.protocol {
@@ -1171,7 +1180,7 @@ impl SecureMemory {
                 self.metadata_cache.clean(addr);
             }
         }
-        let shadows: Vec<(u64, NodeBytes)> = self.persisted_images.drain().collect();
+        let shadows: Vec<(u64, NodeBytes)> = std::mem::take(&mut self.persisted_images).into_iter().collect();
         for (addr, image) in shadows {
             self.nvm.write_block_untimed(addr, &image);
         }

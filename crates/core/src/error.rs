@@ -32,6 +32,14 @@ pub enum IntegrityError {
     },
     /// The underlying device failed.
     Device(NvmError),
+    /// An internal structural invariant was violated (e.g. a stored tree
+    /// node with no parent). Indicates controller state corruption rather
+    /// than data tampering; surfaced as an error instead of a panic so the
+    /// crash path stays panic-free.
+    Invariant {
+        /// Which invariant broke.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for IntegrityError {
@@ -53,6 +61,9 @@ impl fmt::Display for IntegrityError {
                 write!(f, "address {addr:#x} is outside the protected region")
             }
             IntegrityError::Device(e) => write!(f, "device error: {e}"),
+            IntegrityError::Invariant { what } => {
+                write!(f, "internal invariant violated: {what}")
+            }
         }
     }
 }

@@ -12,7 +12,7 @@
 //! and they recompute from the on-chip images in microseconds (Table 4: 0 ms).
 
 use amnt_bmt::{NodeBytes, NodeId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Configuration for the BMF protocol.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,13 +48,13 @@ pub(crate) struct BmfState {
     pub config: BmfConfig,
     /// The frontier: node id -> entry. Invariant: the ids form an antichain
     /// covering every counter block.
-    pub roots: HashMap<NodeId, BmfEntry>,
+    pub roots: BTreeMap<NodeId, BmfEntry>,
     pub writes_since_maintenance: u32,
 }
 
 impl BmfState {
     pub fn new(config: BmfConfig) -> Self {
-        BmfState { config, roots: HashMap::new(), writes_since_maintenance: 0 }
+        BmfState { config, roots: BTreeMap::new(), writes_since_maintenance: 0 }
     }
 
     /// Deepest level whose full population fits in `capacity`, used to seed
@@ -114,7 +114,7 @@ impl BmfState {
         &self,
         expected_children: impl Fn(NodeId) -> usize,
     ) -> Option<NodeId> {
-        let mut groups: HashMap<NodeId, (usize, u64)> = HashMap::new();
+        let mut groups: BTreeMap<NodeId, (usize, u64)> = BTreeMap::new();
         for (id, e) in &self.roots {
             if id.level <= 1 {
                 continue;

@@ -172,8 +172,7 @@ impl SecureMemory {
             if addr >= g.data_capacity() {
                 break;
             }
-            let stored_mac =
-                u64::from_be_bytes(hmacs[slot * 8..slot * 8 + 8].try_into().expect("8 bytes"));
+            let stored_mac = be_u64(&hmacs[slot * 8..slot * 8 + 8]);
             let ct = nvm.read_block_untimed(addr);
             let base_minor = counter.minor(slot);
             if stored_mac == 0 && base_minor == 0 && ct.iter().all(|&b| b == 0) {
@@ -451,6 +450,12 @@ impl RecoveryModel {
         }
         max_level
     }
+}
+
+/// Big-endian u64 decode that tolerates short slices (missing bytes read as
+/// zero) so the recovery path never panics on a malformed HMAC lane.
+fn be_u64(bytes: &[u8]) -> u64 {
+    bytes.iter().take(8).fold(0u64, |acc, &b| (acc << 8) | u64::from(b))
 }
 
 /// Convenience: full Table 4 row labels in paper order.

@@ -10,7 +10,7 @@
 //! workloads.
 
 use crate::config::{MemTiming, WriteQueueConfig};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Per-frame media write-endurance accounting.
 ///
@@ -76,7 +76,7 @@ pub struct MemoryTimeline {
     depth: usize,
     stats: TimelineStats,
     /// Media writes per 4 KiB frame (endurance accounting).
-    wear: HashMap<u64, u64>,
+    wear: BTreeMap<u64, u64>,
 }
 
 impl MemoryTimeline {
@@ -90,7 +90,7 @@ impl MemoryTimeline {
             inflight: VecDeque::with_capacity(queue.depth + 1),
             depth: queue.depth.max(1),
             stats: TimelineStats::default(),
-            wear: HashMap::new(),
+            wear: BTreeMap::new(),
         }
     }
 

@@ -1,20 +1,24 @@
 //! Property-based crash-consistency testing: random write sequences, a
 //! crash at an arbitrary point, recovery, and full read-back verification —
-//! for every recoverable protocol.
+//! for every recoverable protocol. Seeded deterministic loops over
+//! `amnt_prng` (replacing proptest, which the offline workspace cannot
+//! depend on): failures replay exactly.
 
 use amnt_core::{
     AmntConfig, AnubisConfig, BmfConfig, OsirisConfig, ProtocolKind, SecureMemory,
     SecureMemoryConfig,
 };
-use proptest::prelude::*;
+use amnt_prng::Rng;
 use std::collections::HashMap;
 
 const MIB: u64 = 1024 * 1024;
 const BLOCKS: u64 = 4096; // 256 KiB of distinct block addresses in play
 
 /// A compact encoding of a random workload: (block index, payload byte).
-fn ops_strategy() -> impl Strategy<Value = Vec<(u16, u8)>> {
-    prop::collection::vec((0u16..BLOCKS as u16, any::<u8>()), 1..200)
+fn random_ops(rng: &mut Rng) -> Vec<(u16, u8)> {
+    (0..rng.gen_range_usize(1..200))
+        .map(|_| (rng.gen_range_u32(0..BLOCKS as u32) as u16, (rng.next_u64() & 0xff) as u8))
+        .collect()
 }
 
 fn protocols() -> Vec<ProtocolKind> {
@@ -56,32 +60,39 @@ fn run_case(kind: ProtocolKind, ops: &[(u16, u8)], crash_at: usize) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
-
-    /// Every recoverable protocol: arbitrary writes, a crash at an
-    /// arbitrary point mid-stream plus one at the end, and full read-back.
-    #[test]
-    fn random_workloads_survive_random_crashes(
-        ops in ops_strategy(),
-        crash_frac in 0.0f64..1.0,
-    ) {
+/// Every recoverable protocol: arbitrary writes, a crash at an arbitrary
+/// point mid-stream plus one at the end, and full read-back.
+#[test]
+fn random_workloads_survive_random_crashes() {
+    let mut rng = Rng::seed_from_u64(0x40B_0001);
+    for _ in 0..12 {
+        let ops = random_ops(&mut rng);
+        let crash_frac = rng.gen_f64();
         let crash_at = ((ops.len() as f64) * crash_frac) as usize;
         for kind in protocols() {
             run_case(kind, &ops, crash_at);
         }
     }
+}
 
-    /// Repeated writes to few blocks maximise counter churn (and, with
-    /// stop-loss protocols, recovery trials). 130+ writes to one block also
-    /// crosses a minor-counter overflow.
-    #[test]
-    fn hot_block_hammering_survives_crashes(n in 1usize..300, block in 0u16..8) {
+/// Repeated writes to few blocks maximise counter churn (and, with
+/// stop-loss protocols, recovery trials). 130+ writes to one block also
+/// crosses a minor-counter overflow.
+#[test]
+fn hot_block_hammering_survives_crashes() {
+    let mut rng = Rng::seed_from_u64(0x40B_0002);
+    for _ in 0..12 {
+        let n = rng.gen_range_usize(1..300);
+        let block = rng.gen_range_u32(0..8) as u16;
         let ops: Vec<(u16, u8)> = (0..n).map(|i| (block, i as u8)).collect();
         for kind in [
             ProtocolKind::Leaf,
             ProtocolKind::Osiris(OsirisConfig { stop_loss: 3 }),
-            ProtocolKind::Amnt(AmntConfig { subtree_level: 2, interval_writes: 16, history_entries: 16 }),
+            ProtocolKind::Amnt(AmntConfig {
+                subtree_level: 2,
+                interval_writes: 16,
+                history_entries: 16,
+            }),
         ] {
             run_case(kind, &ops, n / 2);
         }

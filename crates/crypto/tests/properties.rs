@@ -1,57 +1,60 @@
-//! Property-based tests for the crypto substrate.
+//! Property-based tests for the crypto substrate: seeded deterministic
+//! loops over `amnt_prng` (replacing proptest, which the offline workspace
+//! cannot depend on). Failures replay exactly — rerun the same test.
 
 use amnt_crypto::{sha256, Aes128, CtrEngine, HmacSha256, Sha256};
-use proptest::prelude::*;
+use amnt_prng::Rng;
 
-proptest! {
-    /// CTR mode: decrypt(encrypt(x)) == x for arbitrary data and counters.
-    #[test]
-    fn ctr_roundtrip(
-        key in any::<[u8; 16]>(),
-        addr in any::<u64>(),
-        major in any::<u64>(),
-        minor in 0u8..128,
-        data in any::<[u8; 32]>(),
-    ) {
+/// CTR mode: decrypt(encrypt(x)) == x for arbitrary data and counters.
+#[test]
+fn ctr_roundtrip() {
+    let mut rng = Rng::seed_from_u64(0xC1_0001);
+    for _ in 0..128 {
+        let key: [u8; 16] = rng.gen_array();
+        let addr = rng.next_u64();
+        let major = rng.next_u64();
+        let minor = (rng.next_u64() & 0x7f) as u8;
+        let data: [u8; 32] = rng.gen_array();
         let engine = CtrEngine::new(&key);
         let mut block = [0u8; 64];
         block[..32].copy_from_slice(&data);
         block[32..].copy_from_slice(&data);
         let ct = engine.encrypt_block(addr, major, minor, &block);
-        prop_assert_eq!(engine.decrypt_block(addr, major, minor, &ct), block);
+        assert_eq!(engine.decrypt_block(addr, major, minor, &ct), block);
         // Ciphertext differs from plaintext (2^-512 failure probability).
-        prop_assert_ne!(ct, block);
+        assert_ne!(ct, block);
     }
+}
 
-    /// The pad never repeats across distinct (major, minor) pairs for the
-    /// same address — temporal uniqueness, the heart of CME security.
-    #[test]
-    fn ctr_pads_are_temporally_unique(
-        addr in any::<u64>(),
-        major in 0u64..1000,
-        minor_a in 0u8..128,
-        minor_b in 0u8..128,
-    ) {
-        prop_assume!(minor_a != minor_b);
-        let engine = CtrEngine::new(&[7; 16]);
-        prop_assert_ne!(
-            engine.pad(addr, major, minor_a),
-            engine.pad(addr, major, minor_b)
-        );
-        prop_assert_ne!(
-            engine.pad(addr, major, minor_a),
-            engine.pad(addr, major + 1, minor_a)
-        );
+/// The pad never repeats across distinct (major, minor) pairs for the same
+/// address — temporal uniqueness, the heart of CME security.
+#[test]
+fn ctr_pads_are_temporally_unique() {
+    let mut rng = Rng::seed_from_u64(0xC1_0002);
+    let engine = CtrEngine::new(&[7; 16]);
+    for _ in 0..128 {
+        let addr = rng.next_u64();
+        let major = rng.gen_range(0..1000);
+        let minor_a = (rng.next_u64() & 0x7f) as u8;
+        let minor_b = (rng.next_u64() & 0x7f) as u8;
+        if minor_a != minor_b {
+            assert_ne!(engine.pad(addr, major, minor_a), engine.pad(addr, major, minor_b));
+        }
+        assert_ne!(engine.pad(addr, major, minor_a), engine.pad(addr, major + 1, minor_a));
     }
+}
 
-    /// Streaming SHA-256 equals one-shot for arbitrary chunkings.
-    #[test]
-    fn sha256_chunking_invariance(
-        data in prop::collection::vec(any::<u8>(), 0..500),
-        splits in prop::collection::vec(0usize..500, 0..6),
-    ) {
+/// Streaming SHA-256 equals one-shot for arbitrary chunkings.
+#[test]
+fn sha256_chunking_invariance() {
+    let mut rng = Rng::seed_from_u64(0xC1_0003);
+    for _ in 0..128 {
+        let mut data = vec![0u8; rng.gen_range_usize(0..500)];
+        rng.fill_bytes(&mut data);
         let oneshot = sha256(&data);
-        let mut points: Vec<usize> = splits.into_iter().map(|s| s % (data.len() + 1)).collect();
+        let mut points: Vec<usize> = (0..rng.gen_range_usize(0..6))
+            .map(|_| rng.gen_range_usize(0..500) % (data.len() + 1))
+            .collect();
         points.sort_unstable();
         let mut h = Sha256::new();
         let mut prev = 0;
@@ -60,32 +63,45 @@ proptest! {
             prev = p;
         }
         h.update(&data[prev..]);
-        prop_assert_eq!(h.finalize(), oneshot);
+        assert_eq!(h.finalize(), oneshot);
     }
+}
 
-    /// AES is a permutation: distinct plaintexts map to distinct
-    /// ciphertexts under one key.
-    #[test]
-    fn aes_is_injective(key in any::<[u8; 16]>(), a in any::<[u8; 16]>(), b in any::<[u8; 16]>()) {
-        prop_assume!(a != b);
+/// AES is a permutation: distinct plaintexts map to distinct ciphertexts
+/// under one key.
+#[test]
+fn aes_is_injective() {
+    let mut rng = Rng::seed_from_u64(0xC1_0004);
+    for _ in 0..128 {
+        let key: [u8; 16] = rng.gen_array();
+        let a: [u8; 16] = rng.gen_array();
+        let b: [u8; 16] = rng.gen_array();
+        if a == b {
+            continue;
+        }
         let aes = Aes128::new(&key);
-        prop_assert_ne!(aes.encrypt(a), aes.encrypt(b));
+        assert_ne!(aes.encrypt(a), aes.encrypt(b));
     }
+}
 
-    /// HMAC differs across keys and across messages.
-    #[test]
-    fn hmac_separates_keys_and_messages(
-        k1 in prop::collection::vec(any::<u8>(), 1..64),
-        k2 in prop::collection::vec(any::<u8>(), 1..64),
-        msg in prop::collection::vec(any::<u8>(), 0..128),
-    ) {
+/// HMAC differs across keys and across messages.
+#[test]
+fn hmac_separates_keys_and_messages() {
+    let mut rng = Rng::seed_from_u64(0xC1_0005);
+    for _ in 0..64 {
+        let mut k1 = vec![0u8; rng.gen_range_usize(1..64)];
+        rng.fill_bytes(&mut k1);
+        let mut k2 = vec![0u8; rng.gen_range_usize(1..64)];
+        rng.fill_bytes(&mut k2);
+        let mut msg = vec![0u8; rng.gen_range_usize(0..128)];
+        rng.fill_bytes(&mut msg);
         let h1 = HmacSha256::new(&k1);
         let h2 = HmacSha256::new(&k2);
         if k1 != k2 {
-            prop_assert_ne!(h1.mac(&msg), h2.mac(&msg));
+            assert_ne!(h1.mac(&msg), h2.mac(&msg));
         }
         let mut msg2 = msg.clone();
         msg2.push(0x55);
-        prop_assert_ne!(h1.mac(&msg), h1.mac(&msg2));
+        assert_ne!(h1.mac(&msg), h1.mac(&msg2));
     }
 }

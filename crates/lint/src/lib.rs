@@ -1,0 +1,63 @@
+//! # amnt-lint
+//!
+//! A zero-dependency static analysis gate for the workspace's two
+//! load-bearing promises:
+//!
+//! 1. **Crash-path discipline** — code that runs during or after a crash
+//!    must never panic and must pair persistent-metadata mutations with
+//!    the ordering machinery recovery depends on.
+//! 2. **Deterministic replay** — simulation results are a function of the
+//!    seed alone: no wall-clock time, no OS entropy, no hasher-seeded
+//!    iteration order.
+//!
+//! The scanner is a comment- and string-aware lexer (see [`lexer`]) — it
+//! is *not* a Rust parser, and the rules are deliberately conservative
+//! pattern checks scoped by path (see [`rules::RULES`] and
+//! `cargo run -p amnt-lint -- --explain R3`). Pre-existing or
+//! intentionally-accepted findings live in the checked-in
+//! `lint-baseline.txt` (see [`baseline`]); the gate fails only on *new*
+//! findings.
+//!
+//! ```
+//! use amnt_lint::lint_source;
+//!
+//! let bad = "fn f(x: Option<u8>) -> u8 { x.unwrap() }";
+//! let findings = lint_source("crates/core/src/protocol/fake.rs", bad);
+//! assert_eq!(findings.len(), 1);
+//! assert_eq!(findings[0].rule, "R1");
+//!
+//! // Same code outside the crash-critical scope: clean.
+//! assert!(lint_source("crates/cache/src/lru.rs", bad).is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod lexer;
+pub mod rules;
+pub mod walk;
+
+pub use rules::{lint_source, rule_info, Finding, RuleInfo, Severity, RULES};
+pub use walk::{collect_files, find_root};
+
+use std::io;
+use std::path::Path;
+
+/// Lints every scanned file under the workspace `root`, returning all raw
+/// findings (baseline not yet applied), sorted by path/line/rule.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from discovery or reading.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for (rel, abs) in collect_files(root)? {
+        let content = std::fs::read_to_string(&abs)?;
+        findings.extend(lint_source(&rel, &content));
+    }
+    findings.sort_by(|a, b| {
+        (&a.path, a.line, a.rule, &a.message).cmp(&(&b.path, b.line, b.rule, &b.message))
+    });
+    Ok(findings)
+}

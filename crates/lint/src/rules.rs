@@ -1,0 +1,508 @@
+//! The six workspace rules (R1–R6) and the per-file rule driver.
+//!
+//! Every rule works on the masked source from [`crate::lexer`] (comments
+//! and string literals blanked), except R6, which scans the complementary
+//! *comment* mask because to-do markers live in comments. Rule scoping is
+//! path-based, so tests can exercise rules by handing [`lint_source`] a
+//! fabricated repo-relative path.
+
+use crate::lexer::{
+    cfg_test_ranges, comments, fn_spans, is_ident_byte, line_of, line_starts, mask,
+    token_offsets,
+};
+use std::fmt;
+
+/// Finding severity. Both levels fail the gate when not baselined; the
+/// distinction is informational (warn-level rules are style/process, not
+/// correctness).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Correctness or determinism hazard.
+    Error,
+    /// Process/style requirement.
+    Warn,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Error => write!(f, "error"),
+            Severity::Warn => write!(f, "warn"),
+        }
+    }
+}
+
+/// One rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Repo-relative path, forward slashes.
+    pub path: String,
+    /// 1-indexed line.
+    pub line: usize,
+    /// Rule id ("R1".."R6").
+    pub rule: &'static str,
+    /// Rule severity.
+    pub severity: Severity,
+    /// Stable, human-readable description of the violation.
+    pub message: String,
+}
+
+impl Finding {
+    /// The baseline key: everything except the line number, so moving code
+    /// within a file does not invalidate the allowlist.
+    pub fn key(&self) -> String {
+        format!("{} · {} · {}", self.path, self.rule, self.message)
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{} · {} · {} · {}", self.path, self.line, self.rule, self.severity, self.message)
+    }
+}
+
+/// Static description of one rule, for `--list-rules` and `--explain`.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// Rule id ("R1".."R6").
+    pub id: &'static str,
+    /// Rule severity.
+    pub severity: Severity,
+    /// One-line summary.
+    pub summary: &'static str,
+    /// Multi-line rationale and remedy, shown by `--explain`.
+    pub explanation: &'static str,
+}
+
+/// All rules, in id order.
+pub const RULES: [RuleInfo; 6] = [
+    RuleInfo {
+        id: "R1",
+        severity: Severity::Error,
+        summary: "no unwrap/expect/panic/unreachable in crash-critical modules",
+        explanation: "\
+The protocol engines, the recovery engine, the controller, and the hybrid
+mapper run on the crash/recovery path: a panic there is indistinguishable
+from the very data-loss event the system exists to survive, and it skips
+the typed IntegrityError/RecoveryError reporting the callers rely on.
+Scope: crates/core/src/protocol/, crates/core/src/recovery.rs,
+crates/core/src/controller.rs, crates/core/src/hybrid.rs — non-test code
+only (#[cfg(test)] items are exempt).
+Remedy: return IntegrityError / RecoveryError (add a variant if none
+fits); for infallible slice-to-array conversions prefer explicit
+fold/indexing helpers over .try_into().expect(...).",
+    },
+    RuleInfo {
+        id: "R2",
+        severity: Severity::Error,
+        summary: "no nondeterminism sources in simulation/model code",
+        explanation: "\
+The simulator's correctness argument is bit-identical replay: the same
+seed must produce the same trace, cycle counts, and recovery decisions on
+every run. thread_rng/SystemTime/Instant::now inject wall-clock or OS
+entropy, and iterating a std HashMap (RandomState) makes tie-breaks
+depend on hasher seeding.
+Scope: crates/core/src/, crates/sim/src/, crates/workloads/src/ —
+non-test code only.
+Remedy: use amnt_prng::Rng seeded from the run configuration; iterate
+BTreeMap (or sort keys first) wherever iteration order can reach a
+result, a statistic, or an eviction/prune decision.",
+    },
+    RuleInfo {
+        id: "R3",
+        severity: Severity::Error,
+        summary: "persistent-metadata mutation without enqueue/fence in the same function",
+        explanation: "\
+Protocol code that mutates persistent metadata (raw NVM writes via
+write_block_untimed / write_bytes_untimed / write_u64) must, in the same
+function, either order the mutation through the write-queue timeline
+(timeline.write / timeline.reset), snapshot it for rollback
+(snapshot_before_lazy_update), or mark it durable (mark_persisted).
+Otherwise a crash between the mutation and whatever later fences it can
+strand metadata that recovery never learns about.
+Scope: crates/core/src/protocol/, crates/core/src/controller.rs.
+Remedy: pair the mutation with its durability action in one function, or
+hoist both into the caller so the pairing is visible; if the pairing is
+genuinely cross-function, baseline it with a comment in
+lint-baseline.txt (and see ROADMAP: cross-function R3).",
+    },
+    RuleInfo {
+        id: "R4",
+        severity: Severity::Error,
+        summary: "every lib.rs must carry #![forbid(unsafe_code)] and #![warn(missing_docs)]",
+        explanation: "\
+The workspace's safety story is 'no unsafe anywhere, docs everywhere';
+both are crate-level attributes that silently stop applying when a new
+crate forgets them.
+Scope: every */src/lib.rs.
+Remedy: add #![forbid(unsafe_code)] and #![warn(missing_docs)] at the
+top of the crate root.",
+    },
+    RuleInfo {
+        id: "R5",
+        severity: Severity::Error,
+        summary: "no truncating casts on cycle/timestamp variables",
+        explanation: "\
+Cycle counters are u64 and long simulations overflow 32 bits; a
+truncating `as u32` / `as usize` on a variable named like a
+cycle/tick/timestamp (or the conventional `t`) silently wraps and
+corrupts stall accounting and wear statistics.
+Scope: crates/core/src/timing.rs and crates/sim/src/.
+Remedy: keep cycle arithmetic in u64; narrow only derived, provably
+small quantities (and rename them so the intent is visible).",
+    },
+    RuleInfo {
+        id: "R6",
+        severity: Severity::Warn,
+        summary: "to-do markers (TODO/FIXME) must reference an issue tag",
+        explanation: "\
+Unanchored TODOs rot. Each TODO/FIXME must cite an issue on the same
+line, either as #<number> or as an AMNT-<number> tag, so it can be found
+and retired.
+Scope: all scanned files (comments included).
+Remedy: write `TODO(#123): ...` or `FIXME(AMNT-7): ...`, or file the
+issue and delete the comment.",
+    },
+];
+
+/// Looks up one rule's metadata by id (case-insensitive).
+pub fn rule_info(id: &str) -> Option<&'static RuleInfo> {
+    RULES.iter().find(|r| r.id.eq_ignore_ascii_case(id))
+}
+
+/// Crash-critical scope for R1.
+const R1_SCOPE: [&str; 4] = [
+    "crates/core/src/protocol/",
+    "crates/core/src/recovery.rs",
+    "crates/core/src/controller.rs",
+    "crates/core/src/hybrid.rs",
+];
+
+/// Determinism scope for R2.
+const R2_SCOPE: [&str; 3] = ["crates/core/src/", "crates/sim/src/", "crates/workloads/src/"];
+
+/// Persist/fence-pairing scope for R3.
+const R3_SCOPE: [&str; 2] = ["crates/core/src/protocol/", "crates/core/src/controller.rs"];
+
+/// Raw-NVM mutation entry points (R3).
+const R3_MUTATIONS: [&str; 3] = [".write_block_untimed(", ".write_bytes_untimed(", ".write_u64("];
+
+/// Durability/ordering actions that discharge an R3 mutation.
+const R3_FENCES: [&str; 4] =
+    ["timeline.write(", "timeline.reset(", "snapshot_before_lazy_update(", "mark_persisted("];
+
+/// Lints one file's content under its repo-relative `path` (forward
+/// slashes). The path drives rule scoping, so fixture tests can fabricate
+/// paths like `crates/core/src/protocol/fake.rs`.
+pub fn lint_source(path: &str, content: &str) -> Vec<Finding> {
+    let masked = mask(content);
+    let starts = line_starts(&masked);
+    let test_ranges = cfg_test_ranges(&masked);
+    let in_test = |line: usize| test_ranges.iter().any(|&(a, b)| line >= a && line <= b);
+    let mut findings = Vec::new();
+
+    // R1: crash-path panics.
+    if R1_SCOPE.iter().any(|s| path.starts_with(s)) {
+        let patterns: [(&str, &str); 4] = [
+            (".unwrap()", "`.unwrap()` on the crash path — return a typed error"),
+            (".expect(", "`.expect(...)` on the crash path — return a typed error"),
+            ("panic!", "`panic!` on the crash path — return a typed error"),
+            ("unreachable!", "`unreachable!` on the crash path — return a typed error"),
+        ];
+        for (pat, msg) in patterns {
+            for at in substr_offsets(&masked, pat) {
+                let line = line_of(&starts, at);
+                if !in_test(line) {
+                    findings.push(mk(path, line, "R1", msg));
+                }
+            }
+        }
+    }
+
+    // R2: nondeterminism sources.
+    if R2_SCOPE.iter().any(|s| path.starts_with(s)) {
+        let tokens: [(&str, &str); 3] = [
+            ("thread_rng", "`thread_rng` — seed an amnt_prng::Rng from the run config instead"),
+            ("SystemTime", "`SystemTime` — wall-clock time breaks deterministic replay"),
+            ("Instant", "`Instant` — host timing breaks deterministic replay"),
+        ];
+        for (tok, msg) in tokens {
+            for at in token_offsets(&masked, tok) {
+                let line = line_of(&starts, at);
+                if !in_test(line) {
+                    findings.push(mk(path, line, "R2", msg));
+                }
+            }
+        }
+        for (ident, at) in hashmap_iterations(&masked) {
+            let line = line_of(&starts, at);
+            if !in_test(line) {
+                findings.push(mk(
+                    path,
+                    line,
+                    "R2",
+                    &format!(
+                        "iteration over std HashMap `{ident}` — order is hasher-seeded; use BTreeMap or sort"
+                    ),
+                ));
+            }
+        }
+    }
+
+    // R3: persist/fence pairing.
+    if R3_SCOPE.iter().any(|s| path.starts_with(s)) {
+        for span in fn_spans(&masked) {
+            let body = &masked[span.start..span.end];
+            let first_mutation =
+                R3_MUTATIONS.iter().filter_map(|m| body.find(m)).min();
+            if let Some(rel) = first_mutation {
+                let line = line_of(&starts, span.start + rel);
+                if in_test(line) {
+                    continue;
+                }
+                let fenced = R3_FENCES.iter().any(|f| body.contains(f));
+                if !fenced {
+                    findings.push(mk(
+                        path,
+                        line,
+                        "R3",
+                        &format!(
+                            "fn `{}` writes persistent metadata with no write-queue enqueue, snapshot, or persist marker in the same function",
+                            span.name
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    // R4: crate-root hygiene attributes.
+    if path.ends_with("src/lib.rs") {
+        for (attr, what) in [
+            ("#![forbid(unsafe_code)]", "missing `#![forbid(unsafe_code)]` at crate root"),
+            ("#![warn(missing_docs)]", "missing `#![warn(missing_docs)]` at crate root"),
+        ] {
+            if !masked.contains(attr) {
+                findings.push(mk(path, 1, "R4", what));
+            }
+        }
+    }
+
+    // R5: truncating casts on cycle/timestamp variables.
+    if path == "crates/core/src/timing.rs" || path.starts_with("crates/sim/src/") {
+        for (ident, at) in truncating_time_casts(&masked) {
+            let line = line_of(&starts, at);
+            if !in_test(line) {
+                findings.push(mk(
+                    path,
+                    line,
+                    "R5",
+                    &format!("truncating cast on cycle/timestamp variable `{ident}` — keep it u64"),
+                ));
+            }
+        }
+    }
+
+    // R6: to-do marker anchoring — scans the comment mask, since the
+    // markers live in comments (and markers quoted in string literals,
+    // like this linter's own messages, must not match).
+    for (idx, raw) in comments(content).lines().enumerate() {
+        let has_marker = ["TODO", "FIXME"].iter().any(|m| {
+            raw.match_indices(m).any(|(at, _)| {
+                let b = raw.as_bytes();
+                (at == 0 || !is_ident_byte(b[at - 1]))
+                    && (at + m.len() >= b.len() || !is_ident_byte(b[at + m.len()]))
+            })
+        });
+        if has_marker && !has_issue_tag(raw) {
+            findings.push(mk(
+                path,
+                idx + 1,
+                "R6",
+                "TODO/FIXME without an issue tag — write TODO(#123) or TODO(AMNT-7)",
+            ));
+        }
+    }
+
+    findings.sort_by(|a, b| (a.line, a.rule, &a.message).cmp(&(b.line, b.rule, &b.message)));
+    findings
+}
+
+fn mk(path: &str, line: usize, rule: &'static str, message: &str) -> Finding {
+    let severity = rule_info(rule).map(|r| r.severity).unwrap_or(Severity::Error);
+    Finding { path: path.to_string(), line, rule, severity, message: message.to_string() }
+}
+
+/// Plain substring occurrences (R1's patterns carry their own `.`/`!`
+/// delimiters, so token boundaries are unnecessary).
+fn substr_offsets(hay: &str, needle: &str) -> Vec<usize> {
+    hay.match_indices(needle).map(|(at, _)| at).collect()
+}
+
+/// Identifiers declared (or bound) as `HashMap` in this file, paired with
+/// each offset where they are iterated. A file-scope heuristic: an ident
+/// declared `x: HashMap<..>`, `x: Option<HashMap<..>`, or
+/// `x = HashMap::new()` is tracked, and `x.iter()` / `x.keys()` /
+/// `x.values()` / `x.values_mut()` / `x.drain(` / `x.into_iter()` /
+/// `for .. in &x` anywhere in the file is flagged.
+fn hashmap_iterations(masked: &str) -> Vec<(String, usize)> {
+    let bytes = masked.as_bytes();
+    let mut idents: Vec<String> = Vec::new();
+    for (at, _) in masked.match_indices("HashMap") {
+        // Walk back over `Option<`-style wrappers to the `:` or `=` that
+        // binds this type/constructor to a name.
+        let mut i = at;
+        while i > 0 {
+            let b = bytes[i - 1];
+            if b == b':' || b == b'=' {
+                // `::` is path syntax (HashMap::new() on the rhs of a
+                // binding we already caught via `=`), not a declaration.
+                if b == b':' && i >= 2 && bytes[i - 2] == b':' {
+                    break;
+                }
+                let mut j = i - 1;
+                while j > 0 && bytes[j - 1].is_ascii_whitespace() {
+                    j -= 1;
+                }
+                let end = j;
+                while j > 0 && is_ident_byte(bytes[j - 1]) {
+                    j -= 1;
+                }
+                if j < end {
+                    let name = masked[j..end].to_string();
+                    if name != "mut" && !idents.contains(&name) {
+                        idents.push(name);
+                    }
+                }
+                break;
+            }
+            if b == b'<' || b == b' ' || b == b'&' || is_ident_byte(b) {
+                i -= 1;
+                continue;
+            }
+            break;
+        }
+    }
+    let mut hits = Vec::new();
+    for ident in &idents {
+        for at in token_offsets(masked, ident) {
+            let rest = &masked[at + ident.len()..];
+            let iterating = [
+                ".iter()",
+                ".iter_mut()",
+                ".keys()",
+                ".values()",
+                ".values_mut()",
+                ".drain(",
+                ".into_iter()",
+                ".into_keys()",
+                ".into_values()",
+            ]
+            .iter()
+            .any(|m| rest.starts_with(m));
+            let for_loop = at >= 4 && masked[..at].ends_with("in &")
+                || at >= 8 && masked[..at].ends_with("in &mut ");
+            if iterating || for_loop {
+                hits.push((ident.clone(), at));
+            }
+        }
+    }
+    hits
+}
+
+/// Occurrences of `<time-ish ident> as <narrow int>` in masked source.
+fn truncating_time_casts(masked: &str) -> Vec<(String, usize)> {
+    let bytes = masked.as_bytes();
+    let mut hits = Vec::new();
+    for at in token_offsets(masked, "as") {
+        let rest = masked[at + 2..].trim_start();
+        let narrow = ["u32", "usize", "u16", "u8", "i32", "i16", "i8"]
+            .iter()
+            .any(|t| rest.starts_with(t) && !rest[t.len()..].starts_with(|c: char| is_ident_byte(c as u8)));
+        if !narrow {
+            continue;
+        }
+        // Preceding token must be a plain identifier (skip `)`-terminated
+        // expressions: we only claim confidence about named variables).
+        let mut j = at;
+        while j > 0 && bytes[j - 1] == b' ' {
+            j -= 1;
+        }
+        let end = j;
+        while j > 0 && is_ident_byte(bytes[j - 1]) {
+            j -= 1;
+        }
+        if j == end {
+            continue;
+        }
+        let ident = &masked[j..end];
+        let last = ident.rsplit('_').next().unwrap_or(ident);
+        let timeish = ident == "t"
+            || ["cycle", "tick", "time"].iter().any(|k| ident.to_ascii_lowercase().contains(k))
+            || last == "t";
+        if timeish {
+            hits.push((ident.to_string(), j));
+        }
+    }
+    hits
+}
+
+/// Whether a to-do marker line carries an issue anchor: `#<digits>` or
+/// `AMNT-<digits>`.
+fn has_issue_tag(line: &str) -> bool {
+    let bytes = line.as_bytes();
+    for (i, &b) in bytes.iter().enumerate() {
+        if b == b'#' && bytes.get(i + 1).is_some_and(|c| c.is_ascii_digit()) {
+            return true;
+        }
+    }
+    for (at, _) in line.match_indices("AMNT-") {
+        if bytes.get(at + 5).is_some_and(|c| c.is_ascii_digit()) {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_table_is_consistent() {
+        let ids: Vec<&str> = RULES.iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec!["R1", "R2", "R3", "R4", "R5", "R6"]);
+        assert!(rule_info("r3").is_some());
+        assert!(rule_info("R9").is_none());
+    }
+
+    #[test]
+    fn finding_key_drops_the_line() {
+        let f = mk("a/b.rs", 42, "R1", "msg");
+        assert_eq!(f.key(), "a/b.rs · R1 · msg");
+        assert_eq!(format!("{f}"), "a/b.rs:42 · R1 · error · msg");
+    }
+
+    #[test]
+    fn issue_tags_recognised() {
+        assert!(has_issue_tag("// TODO(#12): fix"));
+        assert!(has_issue_tag("// FIXME AMNT-3 tighten"));
+        assert!(!has_issue_tag("// TODO: someday"));
+        assert!(!has_issue_tag("// TODO(AMNT-): someday"));
+    }
+
+    #[test]
+    fn hashmap_iteration_heuristic() {
+        let src = "let mut m: HashMap<u64, u8> = HashMap::new();\nfor (k, v) in &m {}\nm.insert(1, 2);\nlet n: BTreeMap<u64, u8> = BTreeMap::new();\nn.iter();\n";
+        let hits = hashmap_iterations(&mask(src));
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].0, "m");
+    }
+
+    #[test]
+    fn time_cast_heuristic() {
+        let hits = truncating_time_casts("let a = total_cycles as u32; let b = bank_mask as u32; let c = t as usize; let d = t as u64;");
+        let names: Vec<&str> = hits.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["total_cycles", "t"]);
+    }
+}

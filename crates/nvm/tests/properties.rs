@@ -1,19 +1,24 @@
-//! Property-based tests for the PCM device model.
+//! Property-based tests for the PCM device model: seeded deterministic
+//! loops over `amnt_prng` (replacing proptest, which the offline workspace
+//! cannot depend on). Failures replay exactly — rerun the same test.
 
 use amnt_nvm::{Nvm, NvmConfig};
-use proptest::prelude::*;
+use amnt_prng::Rng;
 use std::collections::HashMap;
 
-proptest! {
-    /// The device is a faithful byte store under arbitrary overlapping
-    /// writes, modelled against a reference map.
-    #[test]
-    fn device_matches_reference_map(
-        writes in prop::collection::vec(
-            (0u64..1 << 16, prop::collection::vec(any::<u8>(), 1..200)),
-            1..40
-        )
-    ) {
+/// The device is a faithful byte store under arbitrary overlapping writes,
+/// modelled against a reference map.
+#[test]
+fn device_matches_reference_map() {
+    let mut rng = Rng::seed_from_u64(0x4E_0001);
+    for _ in 0..48 {
+        let mut writes = Vec::new();
+        for _ in 0..rng.gen_range(1..40) {
+            let addr = rng.gen_range(0..1 << 16);
+            let mut data = vec![0u8; rng.gen_range_usize(1..200)];
+            rng.fill_bytes(&mut data);
+            writes.push((addr, data));
+        }
         let mut nvm = Nvm::new(NvmConfig::gib(1));
         let mut reference: HashMap<u64, u8> = HashMap::new();
         for (addr, data) in &writes {
@@ -30,17 +35,21 @@ proptest! {
             for (i, got) in buf.iter().enumerate() {
                 let a = start + i as u64;
                 let want = reference.get(&a).copied().unwrap_or(0);
-                prop_assert_eq!(*got, want, "byte at {:#x}", a);
+                assert_eq!(*got, want, "byte at {a:#x}");
             }
         }
     }
+}
 
-    /// Crashes never change media contents, regardless of history.
-    #[test]
-    fn crash_is_a_media_noop(
-        writes in prop::collection::vec((0u64..1 << 14, any::<u8>()), 1..30),
-        crashes in 1u8..4,
-    ) {
+/// Crashes never change media contents, regardless of history.
+#[test]
+fn crash_is_a_media_noop() {
+    let mut rng = Rng::seed_from_u64(0x4E_0002);
+    for _ in 0..48 {
+        let writes: Vec<(u64, u8)> = (0..rng.gen_range(1..30))
+            .map(|_| (rng.gen_range(0..1 << 14), (rng.next_u64() & 0xff) as u8))
+            .collect();
+        let crashes = rng.gen_range(1..4) as u8;
         let mut nvm = Nvm::new(NvmConfig::gib(1));
         for (addr, byte) in &writes {
             nvm.write_bytes(*addr, &[*byte]).unwrap();
@@ -57,19 +66,24 @@ proptest! {
         for ((addr, _), want) in writes.iter().zip(snapshot) {
             let mut b = [0u8];
             nvm.read_bytes(*addr, &mut b).unwrap();
-            prop_assert_eq!(b[0], want);
+            assert_eq!(b[0], want);
         }
-        prop_assert_eq!(nvm.generation(), crashes as u64);
+        assert_eq!(nvm.generation(), crashes as u64);
     }
+}
 
-    /// Block reads and byte reads agree.
-    #[test]
-    fn block_and_byte_views_agree(block in 0u64..256, data in any::<[u8; 64]>()) {
+/// Block reads and byte reads agree.
+#[test]
+fn block_and_byte_views_agree() {
+    let mut rng = Rng::seed_from_u64(0x4E_0003);
+    for _ in 0..128 {
+        let block = rng.gen_range(0..256);
+        let data: [u8; 64] = rng.gen_array();
         let mut nvm = Nvm::new(NvmConfig::gib(1));
         nvm.write_block(block * 64, &data).unwrap();
         let mut bytes = [0u8; 64];
         nvm.read_bytes(block * 64, &mut bytes).unwrap();
-        prop_assert_eq!(bytes, nvm.read_block(block * 64).unwrap());
-        prop_assert_eq!(bytes, data);
+        assert_eq!(bytes, nvm.read_block(block * 64).unwrap());
+        assert_eq!(bytes, data);
     }
 }

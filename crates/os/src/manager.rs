@@ -3,9 +3,7 @@
 //! the AMNT++ allocation policy.
 
 use crate::buddy::{AllocError, BuddyAllocator};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use amnt_prng::Rng;
 use std::collections::HashMap;
 
 /// Bytes per page.
@@ -171,7 +169,7 @@ impl MemoryManager {
         const SHUFFLE_WINDOW: usize = 2048; // pages: 8 MiB
         let total = self.buddy.total_pages();
         let take = ((total as f64) * occupancy.clamp(0.0, 1.0)) as u64;
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let mut held = Vec::with_capacity(take as usize);
         for _ in 0..take {
             match self.buddy.alloc_pages(0) {
@@ -198,7 +196,7 @@ impl MemoryManager {
             }
         }
         for window in release.chunks_mut(SHUFFLE_WINDOW) {
-            window.shuffle(&mut rng);
+            rng.shuffle(window);
         }
         for pfn in release {
             // Aging happens before measurement: free directly, without

@@ -13,7 +13,7 @@ use amnt_cache::SetAssocCache;
 use amnt_core::{IntegrityError, ProtocolKind, SecureMemory};
 use amnt_os::{AllocError, AllocPolicy, MemoryManager, Pid};
 use amnt_workloads::{Event, EventStream};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Bytes per block.
@@ -82,7 +82,7 @@ pub struct Machine {
     accesses_total: u64,
     accesses_measured: u64,
     llc_misses: u64,
-    profile: Option<HashMap<u64, u64>>,
+    profile: Option<BTreeMap<u64, u64>>,
 }
 
 impl Machine {
@@ -153,7 +153,7 @@ impl Machine {
 
     /// Enables per-physical-page access profiling (Figure 3).
     pub fn enable_profiling(&mut self) {
-        self.profile = Some(HashMap::new());
+        self.profile = Some(BTreeMap::new());
     }
 
     /// Direct access to the secure-memory engine (crash drills, audits).
@@ -388,11 +388,10 @@ impl Machine {
             .map(|c| c.clock.saturating_sub(c.roi_start_clock))
             .collect();
         let snapshot = self.secure.snapshot();
-        let profile = self.profile.as_ref().map(|p| {
-            let mut v: Vec<(u64, u64)> = p.iter().map(|(&k, &n)| (k, n)).collect();
-            v.sort_unstable();
-            v
-        });
+        let profile = self
+            .profile
+            .as_ref()
+            .map(|p| p.iter().map(|(&k, &n)| (k, n)).collect::<Vec<(u64, u64)>>());
         SimReport {
             protocol: self.secure.protocol().name().to_string(),
             cycles: per_core.iter().copied().max().unwrap_or(0),

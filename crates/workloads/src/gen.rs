@@ -1,8 +1,7 @@
 //! Deterministic trace generation from a [`WorkloadModel`].
 
 use crate::model::WorkloadModel;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use amnt_prng::Rng;
 use std::collections::VecDeque;
 
 /// Bytes per block (the access granularity fed to the cache hierarchy).
@@ -51,7 +50,7 @@ pub enum Event {
 #[derive(Debug, Clone)]
 pub struct TraceGen {
     model: WorkloadModel,
-    rng: StdRng,
+    rng: Rng,
     /// Accesses still to emit.
     remaining: u64,
     /// Working-set window base (bytes, virtual).
@@ -71,7 +70,7 @@ impl TraceGen {
     pub fn new(model: &WorkloadModel, seed: u64, accesses: u64) -> Self {
         TraceGen {
             model: *model,
-            rng: StdRng::seed_from_u64(seed ^ 0x5eed_1234_abcd_ef00),
+            rng: Rng::seed_from_u64(seed ^ 0x5eed_1234_abcd_ef00),
             remaining: accesses,
             base: 0,
             seq_cursor: 0,
@@ -87,7 +86,7 @@ impl TraceGen {
 
     fn next_access(&mut self) -> TraceOp {
         let m = &self.model;
-        let u: f64 = self.rng.gen();
+        let u: f64 = self.rng.gen_f64();
         let seq_cut = m.stack_prob + (1.0 - m.stack_prob) * m.seq_prob;
         let hot_cut = seq_cut + (1.0 - seq_cut) * m.hot_access_prob;
         let offset = if u < m.stack_prob {
@@ -108,7 +107,7 @@ impl TraceGen {
         };
         let vaddr = self.base + (offset % m.footprint);
         let is_write = self.rng.gen_bool(m.write_fraction);
-        let jitter = self.rng.gen_range(0..=m.think_cycles);
+        let jitter = self.rng.gen_range_u32(0..m.think_cycles + 1);
         let think_cycles = m.think_cycles / 2 + jitter / 2 + 1;
         TraceOp { vaddr, is_write, think_cycles }
     }

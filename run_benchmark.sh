@@ -58,6 +58,9 @@ fi
 OUT="m5out/${BENCH/+/_}-${PROTOCOL}$( [ "$OS_TYPE" = modified ] && echo -modified || true )"
 mkdir -p "$OUT"
 
+echo "lint pre-flight (amnt-lint)..."
+cargo run --release -p amnt-lint >/dev/null
+
 echo "building simulator (release)..."
 cargo build --release -p amnt-sim >/dev/null
 

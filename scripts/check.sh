@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Full local gate: static analysis, build, and tests for every workspace
+# member. Everything runs offline — the workspace has no external
+# dependencies by design (see DESIGN.md, "Offline substitutions").
+#
+#   bash scripts/check.sh
+#
+# Formatting is advisory (rustfmt may be absent on minimal toolchains);
+# lint, build and test failures are fatal.
+set -uo pipefail
+
+cd "$(dirname "$0")/.."
+
+fail=0
+
+echo "== cargo fmt --check (advisory) =="
+if command -v rustfmt >/dev/null 2>&1; then
+    cargo fmt --all --check || echo "   (formatting drift — advisory only)"
+else
+    echo "   rustfmt not installed; skipping"
+fi
+
+echo "== amnt-lint =="
+cargo run --release -p amnt-lint || fail=1
+
+echo "== cargo build --release --workspace =="
+cargo build --release --workspace || fail=1
+
+echo "== cargo test --workspace =="
+cargo test -q --workspace || fail=1
+
+if [ "$fail" -ne 0 ]; then
+    echo "check.sh: FAILED"
+    exit 1
+fi
+echo "check.sh: all gates passed"
