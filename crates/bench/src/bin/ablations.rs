@@ -1,17 +1,18 @@
 //! Simulated-cycle ablations for the design choices DESIGN.md §4 calls out:
 //! trusted-ancestor caching (metadata cache size), the AMNT history-buffer
 //! interval and capacity, the write-queue depth, and the split-counter
-//! overflow mechanism.
+//! overflow mechanism. Each ablation's sweep points are independent and run
+//! in parallel through the grid executor.
 //!
 //! ```text
 //! cargo run --release -p amnt-bench --bin ablations
 //! ```
 
-use amnt_bench::{print_table, ExperimentResult};
+use amnt_bench::{print_table, ExperimentResult, Grid, HostTimer};
 use amnt_core::{
     AmntConfig, ProtocolKind, SecureMemory, SecureMemoryConfig, WriteQueueConfig,
 };
-use amnt_sim::{run_single, MachineConfig, RunLength};
+use amnt_sim::{run_single, MachineConfig, RunLength, SimReport};
 use amnt_workloads::WorkloadModel;
 
 const MIB: u64 = 1024 * 1024;
@@ -24,11 +25,17 @@ fn len() -> RunLength {
 /// this (paper §2.1: performance is tied to metadata cache efficacy).
 fn metadata_cache_ablation(result: &mut ExperimentResult) {
     let model = WorkloadModel::by_name("canneal").expect("catalogued");
-    let mut rows = Vec::new();
+    let mut grid: Grid<SimReport> = Grid::new();
     for kb in [4usize, 16, 64, 256] {
-        let mut cfg = MachineConfig::parsec_single();
-        cfg.secure = cfg.secure.with_metadata_cache_bytes(kb * 1024);
-        let r = run_single(&model, cfg, ProtocolKind::Leaf, len()).expect("run");
+        grid.add("metadata_cache", format!("{kb}"), move || {
+            let mut cfg = MachineConfig::parsec_single();
+            cfg.secure = cfg.secure.with_metadata_cache_bytes(kb * 1024);
+            run_single(&model, cfg, ProtocolKind::Leaf, len()).expect("run")
+        });
+    }
+    let mut rows = Vec::new();
+    for cell in grid.run().cells() {
+        let (kb, r) = (&cell.col, &cell.value);
         result.push("metadata_cache", &format!("{kb}kB_cycles"), r.cycles as f64);
         result.push("metadata_cache", &format!("{kb}kB_hit"), r.metadata_hit_rate);
         rows.push((
@@ -46,11 +53,17 @@ fn metadata_cache_ablation(result: &mut ExperimentResult) {
 /// AMNT tracking-interval length (Table 1 default: 64 writes).
 fn interval_ablation(result: &mut ExperimentResult) {
     let model = WorkloadModel::by_name("fluidanimate").expect("catalogued");
-    let mut rows = Vec::new();
+    let mut grid: Grid<SimReport> = Grid::new();
     for interval in [8u32, 32, 64, 256, 1024] {
-        let cfg = MachineConfig::parsec_single();
-        let amnt = AmntConfig { interval_writes: interval, ..AmntConfig::default() };
-        let r = run_single(&model, cfg, ProtocolKind::Amnt(amnt), len()).expect("run");
+        grid.add("interval", format!("{interval}"), move || {
+            let cfg = MachineConfig::parsec_single();
+            let amnt = AmntConfig { interval_writes: interval, ..AmntConfig::default() };
+            run_single(&model, cfg, ProtocolKind::Amnt(amnt), len()).expect("run")
+        });
+    }
+    let mut rows = Vec::new();
+    for cell in grid.run().cells() {
+        let (interval, r) = (&cell.col, &cell.value);
         result.push("interval", &format!("{interval}_cycles"), r.cycles as f64);
         result.push("interval", &format!("{interval}_transitions"), r.subtree_transitions as f64);
         rows.push((
@@ -72,11 +85,18 @@ fn interval_ablation(result: &mut ExperimentResult) {
 /// History-buffer capacity (Table 1 default: 64 entries = 96 B).
 fn history_capacity_ablation(result: &mut ExperimentResult) {
     let model = WorkloadModel::by_name("bodytrack").expect("catalogued");
-    let mut rows = Vec::new();
+    let mut grid: Grid<SimReport> = Grid::new();
     for entries in [4usize, 16, 64, 256] {
-        let cfg = MachineConfig::parsec_single();
-        let amnt = AmntConfig { history_entries: entries, ..AmntConfig::default() };
-        let r = run_single(&model, cfg, ProtocolKind::Amnt(amnt), len()).expect("run");
+        grid.add("history", format!("{entries}"), move || {
+            let cfg = MachineConfig::parsec_single();
+            let amnt = AmntConfig { history_entries: entries, ..AmntConfig::default() };
+            run_single(&model, cfg, ProtocolKind::Amnt(amnt), len()).expect("run")
+        });
+    }
+    let mut rows = Vec::new();
+    for cell in grid.run().cells() {
+        let entries: usize = cell.col.parse().expect("numeric label");
+        let r = &cell.value;
         result.push("history", &format!("{entries}_hit"), r.subtree_hit_rate);
         rows.push((
             format!("{entries} entries ({} B)", entries * 2 * 6 / 8),
@@ -93,11 +113,17 @@ fn history_capacity_ablation(result: &mut ExperimentResult) {
 /// Write-queue depth under strict persistence (back-pressure model).
 fn queue_depth_ablation(result: &mut ExperimentResult) {
     let model = WorkloadModel::by_name("xz").expect("catalogued");
-    let mut rows = Vec::new();
+    let mut grid: Grid<SimReport> = Grid::new();
     for depth in [4usize, 16, 32, 128] {
-        let mut cfg = MachineConfig::parsec_single();
-        cfg.secure.write_queue = WriteQueueConfig { banks: 8, depth };
-        let r = run_single(&model, cfg, ProtocolKind::Strict, len()).expect("run");
+        grid.add("queue_depth", format!("{depth}"), move || {
+            let mut cfg = MachineConfig::parsec_single();
+            cfg.secure.write_queue = WriteQueueConfig { banks: 8, depth };
+            run_single(&model, cfg, ProtocolKind::Strict, len()).expect("run")
+        });
+    }
+    let mut rows = Vec::new();
+    for cell in grid.run().cells() {
+        let (depth, r) = (&cell.col, &cell.value);
         result.push("queue_depth", &format!("{depth}_cycles"), r.cycles as f64);
         rows.push((
             format!("depth {depth}"),
@@ -133,18 +159,20 @@ fn overflow_ablation(result: &mut ExperimentResult) {
 /// for ablation — cached nodes terminate verification walks early.
 fn trusted_ancestor_ablation(result: &mut ExperimentResult) {
     let model = WorkloadModel::by_name("mcf").expect("catalogued");
-    let mut rows = Vec::new();
+    let mut grid: Grid<SimReport> = Grid::new();
     for caching in [true, false] {
-        let mut cfg = MachineConfig::parsec_single();
-        cfg.secure.trusted_ancestor_caching = caching;
-        let r = run_single(&model, cfg, ProtocolKind::Leaf, len()).expect("run");
-        result.push(
-            "trusted_ancestor",
-            if caching { "on_cycles" } else { "off_cycles" },
-            r.cycles as f64,
-        );
+        grid.add("trusted_ancestor", if caching { "on" } else { "off" }, move || {
+            let mut cfg = MachineConfig::parsec_single();
+            cfg.secure.trusted_ancestor_caching = caching;
+            run_single(&model, cfg, ProtocolKind::Leaf, len()).expect("run")
+        });
+    }
+    let mut rows = Vec::new();
+    for cell in grid.run().cells() {
+        let r = &cell.value;
+        result.push("trusted_ancestor", &format!("{}_cycles", cell.col), r.cycles as f64);
         rows.push((
-            format!("caching {}", if caching { "on" } else { "off" }),
+            format!("caching {}", cell.col),
             vec![
                 r.cycles as f64 / r.accesses as f64,
                 r.snapshot.controller.hashes as f64 / r.accesses as f64,
@@ -159,6 +187,7 @@ fn trusted_ancestor_ablation(result: &mut ExperimentResult) {
 }
 
 fn main() {
+    let timer = HostTimer::start();
     let mut result = ExperimentResult::new("ablations", "design-choice ablations");
     trusted_ancestor_ablation(&mut result);
     metadata_cache_ablation(&mut result);
@@ -166,6 +195,7 @@ fn main() {
     history_capacity_ablation(&mut result);
     queue_depth_ablation(&mut result);
     overflow_ablation(&mut result);
+    result.set_host(&timer, amnt_bench::exec::worker_count());
     let path = result.save().expect("save results");
     println!("\nsaved {}", path.display());
 }

@@ -4,6 +4,10 @@
 //! ```text
 //! cargo run --release -p amnt-bench --bin all
 //! ```
+//!
+//! Each binary parallelises its own experiment grid across host cores;
+//! set `AMNT_JOBS=<n>` to pin the worker count (the JSON artifacts are
+//! byte-identical at any value).
 
 use std::process::Command;
 
@@ -26,6 +30,7 @@ const EXPERIMENTS: &[&str] = &[
 fn main() {
     let exe = std::env::current_exe().expect("current executable path");
     let dir = exe.parent().expect("executable directory");
+    println!("experiment executor: {} worker(s)", amnt_bench::exec::worker_count());
     let mut failures = Vec::new();
     for name in EXPERIMENTS {
         println!("\n################ {name} ################");

@@ -4,12 +4,13 @@
 //! small contiguous physical range — the hot-region assumption behind AMNT.
 //! (b) Multiprogram behaviour (`perlbench` + `lbm`): two address spaces
 //! interleave in physical memory, diluting the assumption (the motivation
-//! for AMNT++).
+//! for AMNT++). The two profiling runs are independent and execute in
+//! parallel.
 //!
 //! Prints a coarse histogram of memory-level accesses per 16 MiB physical
 //! bin and summary concentration statistics.
 
-use amnt_bench::{run_length, ExperimentResult};
+use amnt_bench::{run_length, ExperimentResult, Grid, HostTimer};
 use amnt_core::ProtocolKind;
 use amnt_sim::{profile_pair, profile_single, MachineConfig, SimReport};
 use amnt_workloads::WorkloadModel;
@@ -52,27 +53,29 @@ fn summarize(tag: &str, report: &SimReport, result: &mut ExperimentResult) {
 }
 
 fn main() {
+    let timer = HostTimer::start();
     let len = run_length();
     let mut result = ExperimentResult::new("fig3", "memory accesses per 16MiB physical bin");
     let lbm = WorkloadModel::by_name("lbm").expect("lbm");
     let perl = WorkloadModel::by_name("perlbench").expect("perlbench");
 
-    let single = profile_single(&lbm, MachineConfig::parsec_single(), ProtocolKind::Volatile, len)
-        .expect("fig3a run");
-    summarize("single: lbm", &single, &mut result);
-
-    let pair = profile_pair(
-        &perl,
-        &lbm,
-        MachineConfig::parsec_multi(),
-        ProtocolKind::Volatile,
-        len,
-    )
-    .expect("fig3b run");
-    summarize("multi: perlbench+lbm", &pair, &mut result);
+    let mut grid: Grid<SimReport> = Grid::new();
+    grid.add("single: lbm", "profile", move || {
+        profile_single(&lbm, MachineConfig::parsec_single(), ProtocolKind::Volatile, len)
+            .expect("fig3a run")
+    });
+    grid.add("multi: perlbench+lbm", "profile", move || {
+        profile_pair(&perl, &lbm, MachineConfig::parsec_multi(), ProtocolKind::Volatile, len)
+            .expect("fig3b run")
+    });
+    let results = grid.run();
+    for cell in results.cells() {
+        summarize(&cell.row, &cell.value, &mut result);
+    }
 
     println!("\nPaper shape (Fig. 3): the single program's accesses form one dense region;");
     println!("the multiprogram run interleaves two address spaces across physical memory.");
+    result.set_host(&timer, results.workers);
     let path = result.save().expect("save results");
     println!("saved {}", path.display());
 }

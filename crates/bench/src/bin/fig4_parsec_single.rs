@@ -3,52 +3,63 @@
 //! Runs every PARSEC model on the paper's single-core machine under each
 //! persistence protocol, normalising cycles to the volatile secure-memory
 //! baseline. `amnt++` runs the AMNT protocol with the modified (biased)
-//! physical page allocator.
+//! physical page allocator. Every (workload × protocol) cell is an
+//! independent seeded simulation, so the whole figure fans out across host
+//! cores (`AMNT_JOBS`) with byte-identical output at any worker count.
 
-use amnt_bench::{figure_protocols, gmean, print_table, run_length, ExperimentResult};
+use amnt_bench::{figure_protocols, print_table, run_length, ExperimentResult, Grid, HostTimer};
 use amnt_core::{AmntConfig, ProtocolKind};
-use amnt_sim::{run_single, with_amnt_plus, MachineConfig};
+use amnt_sim::{run_single, with_amnt_plus, MachineConfig, SimReport};
 use amnt_workloads::parsec;
 
 fn main() {
+    let timer = HostTimer::start();
     let len = run_length();
-    let mut result = ExperimentResult::new("fig4", "cycles normalized to volatile");
-    let mut rows = Vec::new();
-    let mut per_protocol: Vec<Vec<f64>> = vec![Vec::new(); figure_protocols().len() + 1];
-
+    let mut grid: Grid<SimReport> = Grid::new();
     for model in parsec() {
-        eprint!("fig4: {:<16}", model.name);
         let cfg = MachineConfig::parsec_single();
-        let baseline = run_single(&model, cfg.clone(), ProtocolKind::Volatile, len)
-            .expect("baseline run");
-        let mut vals = Vec::new();
-        for (idx, (name, protocol)) in figure_protocols().into_iter().enumerate() {
-            let report = run_single(&model, cfg.clone(), protocol, len).expect(name);
-            let norm = report.normalized_to(&baseline);
-            result.push(model.name, name, norm);
-            per_protocol[idx].push(norm);
-            vals.push(norm);
-            eprint!(" {name}={norm:.3}");
+        {
+            let cfg = cfg.clone();
+            grid.add(model.name, "volatile", move || {
+                run_single(&model, cfg, ProtocolKind::Volatile, len).expect("baseline run")
+            });
+        }
+        for (name, protocol) in figure_protocols() {
+            let cfg = cfg.clone();
+            grid.add(model.name, name, move || {
+                run_single(&model, cfg, protocol, len).expect(name)
+            });
         }
         // AMNT++ = AMNT + modified OS.
         let pp_cfg = with_amnt_plus(cfg, AmntConfig::default());
-        let report = run_single(&model, pp_cfg, ProtocolKind::Amnt(AmntConfig::default()), len)
-            .expect("amnt++");
-        let norm = report.normalized_to(&baseline);
-        result.push(model.name, "amnt++", norm);
-        per_protocol[figure_protocols().len()].push(norm);
-        vals.push(norm);
-        eprintln!(" amnt++={norm:.3}");
-        rows.push((model.name.to_string(), vals));
+        grid.add(model.name, "amnt++", move || {
+            run_single(&model, pp_cfg, ProtocolKind::Amnt(AmntConfig::default()), len)
+                .expect("amnt++")
+        });
     }
+    let results = grid.run();
 
+    let mut result = ExperimentResult::new("fig4", "cycles normalized to volatile");
     let mut cols: Vec<&str> = figure_protocols().iter().map(|(n, _)| *n).collect();
     cols.push("amnt++");
-    rows.push(("gmean".to_string(), per_protocol.iter().map(|v| gmean(v)).collect()));
+    let rows = results.render_normalized("volatile", &cols, &mut result, true);
+    for (row, vals) in &rows {
+        eprint!("fig4: {row:<16}");
+        for (col, v) in cols.iter().zip(vals) {
+            eprint!(" {col}={v:.3}");
+        }
+        eprintln!();
+    }
     print_table("Figure 4: single-program PARSEC (normalized cycles)", &cols, &rows);
 
     println!("\nPaper anchors (§6.1): leaf ≈ 1.08, strict ≈ 2.39, amnt ≈ 1.16, amnt++ ≈ 1.10 (means);");
     println!("canneal under Anubis ≈ 2.4x, under AMNT < 1.001x.");
+    result.set_host(&timer, results.workers);
     let path = result.save().expect("save results");
-    println!("saved {}", path.display());
+    println!(
+        "saved {} ({:.1}s host wall-clock at {} jobs)",
+        path.display(),
+        result.host_seconds,
+        results.workers
+    );
 }

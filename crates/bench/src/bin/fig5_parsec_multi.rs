@@ -2,52 +2,61 @@
 //!
 //! The paper's three temporally-aligned pairs run on the two-core machine;
 //! each protocol's cycles are normalised to the volatile baseline. `amnt++`
-//! adds the modified OS allocator (aged machine, biased free lists).
+//! adds the modified OS allocator (aged machine, biased free lists). All
+//! (pair × protocol) cells execute in parallel through the grid executor.
 
-use amnt_bench::{compare, figure_protocols, print_table, run_length, ExperimentResult};
+use amnt_bench::{compare, figure_protocols, print_table, run_length, ExperimentResult, Grid, HostTimer};
 use amnt_core::{AmntConfig, ProtocolKind};
-use amnt_sim::{run_pair, with_amnt_plus, MachineConfig};
+use amnt_sim::{run_pair, with_amnt_plus, MachineConfig, SimReport};
 use amnt_workloads::{multiprogram_pairs, WorkloadModel};
 
 fn main() {
+    let timer = HostTimer::start();
     let len = run_length();
-    let mut result = ExperimentResult::new("fig5", "cycles normalized to volatile");
-    let mut rows = Vec::new();
-
+    let mut grid: Grid<SimReport> = Grid::new();
     for (a, b) in multiprogram_pairs() {
         let label = format!("{a}+{b}");
-        eprint!("fig5: {label:<28}");
         let ma = WorkloadModel::by_name(a).expect("catalogued");
         let mb = WorkloadModel::by_name(b).expect("catalogued");
         let cfg = MachineConfig::parsec_multi();
-        let baseline =
-            run_pair(&ma, &mb, cfg.clone(), ProtocolKind::Volatile, len).expect("baseline");
-        let mut vals = Vec::new();
+        {
+            let cfg = cfg.clone();
+            grid.add(label.clone(), "volatile", move || {
+                run_pair(&ma, &mb, cfg, ProtocolKind::Volatile, len).expect("baseline")
+            });
+        }
         for (name, protocol) in figure_protocols() {
-            let r = run_pair(&ma, &mb, cfg.clone(), protocol, len).expect(name);
-            let norm = r.normalized_to(&baseline);
-            result.push(&label, name, norm);
-            vals.push(norm);
-            eprint!(" {name}={norm:.3}");
+            let cfg = cfg.clone();
+            grid.add(label.clone(), name, move || {
+                run_pair(&ma, &mb, cfg, protocol, len).expect(name)
+            });
         }
         let pp_cfg = with_amnt_plus(cfg, AmntConfig::default());
-        let r = run_pair(&ma, &mb, pp_cfg, ProtocolKind::Amnt(AmntConfig::default()), len)
-            .expect("amnt++");
-        let norm = r.normalized_to(&baseline);
-        result.push(&label, "amnt++", norm);
-        vals.push(norm);
-        eprintln!(" amnt++={norm:.3}");
-        rows.push((label, vals));
+        grid.add(label.clone(), "amnt++", move || {
+            run_pair(&ma, &mb, pp_cfg, ProtocolKind::Amnt(AmntConfig::default()), len)
+                .expect("amnt++")
+        });
     }
+    let results = grid.run();
 
+    let mut result = ExperimentResult::new("fig5", "cycles normalized to volatile");
     let mut cols: Vec<&str> = figure_protocols().iter().map(|(n, _)| *n).collect();
     cols.push("amnt++");
+    let rows = results.render_normalized("volatile", &cols, &mut result, false);
+    for (row, vals) in &rows {
+        eprint!("fig5: {row:<28}");
+        for (col, v) in cols.iter().zip(vals) {
+            eprint!(" {col}={v:.3}");
+        }
+        eprintln!();
+    }
     print_table("Figure 5: multiprogram PARSEC (normalized cycles)", &cols, &rows);
 
     println!("\nPaper anchors (§6.2):");
     compare("bodytrack+fluidanimate amnt vs leaf", 1.08, rows[0].1[4] / rows[0].1[0]);
     compare("bodytrack+fluidanimate amnt++ vs leaf", 1.001, rows[0].1[5] / rows[0].1[0]);
     println!("  swaptions+streamcluster and x264+freqmine: not memory-intensive, negligible overheads.");
+    result.set_host(&timer, results.workers);
     let path = result.save().expect("save results");
     println!("saved {}", path.display());
 }

@@ -1,65 +1,21 @@
 //! **Figure 6** — Normalized cycles vs AMNT subtree level (multiprogram).
 //!
-//! Sweeps the BIOS-configurable subtree-root level from 2 (large fast
-//! subtree, slow recovery) to 7 (tiny subtree, fast recovery) for AMNT and
-//! AMNT++ on the multiprogram pairs. Deeper levels constrain AMNT's
-//! efficacy; AMNT++ claws locality back (paper §6.3).
+//! The sweep itself lives in [`amnt_bench::sweep`] (shared with fig7) and
+//! runs every (pair × OS × level) cell in parallel; this binary renders
+//! the normalized-cycle view and, because the same runs also yield hit
+//! rates, saves fig7's artifact too so the fig7 binary is optional when
+//! running `all`.
 
-use amnt_bench::{print_table, run_length, ExperimentResult};
-use amnt_core::{AmntConfig, ProtocolKind};
-use amnt_sim::{run_pair, with_amnt_plus, MachineConfig};
-use amnt_workloads::{multiprogram_pairs, WorkloadModel};
-
-/// Rows of a sweep table: (label, one value per level).
-type SweepRows = Vec<(String, Vec<f64>)>;
-
-/// Shared sweep used by fig6 (cycles) and fig7 (hit rates).
-pub fn sweep() -> (SweepRows, SweepRows, Vec<String>) {
-    let len = run_length();
-    let levels: Vec<u32> = (2..=7).collect();
-    let mut cycle_rows = Vec::new();
-    let mut hit_rows = Vec::new();
-    let mut labels = Vec::new();
-    for (a, b) in multiprogram_pairs() {
-        let ma = WorkloadModel::by_name(a).expect("catalogued");
-        let mb = WorkloadModel::by_name(b).expect("catalogued");
-        let cfg = MachineConfig::parsec_multi();
-        let baseline =
-            run_pair(&ma, &mb, cfg.clone(), ProtocolKind::Volatile, len).expect("baseline");
-        for plus in [false, true] {
-            let label = format!("{a}+{b}{}", if plus { " ++" } else { "" });
-            eprint!("fig6/7: {label:<32}");
-            let mut cycles = Vec::new();
-            let mut hits = Vec::new();
-            for &level in &levels {
-                let amnt = AmntConfig::at_level(level);
-                let cfg_run = if plus {
-                    with_amnt_plus(cfg.clone(), amnt)
-                } else {
-                    cfg.clone()
-                };
-                let r = run_pair(&ma, &mb, cfg_run, ProtocolKind::Amnt(amnt), len)
-                    .expect("sweep run");
-                cycles.push(r.normalized_to(&baseline));
-                hits.push(r.subtree_hit_rate);
-                eprint!(" L{level}={:.3}/{:.2}", cycles.last().unwrap(), hits.last().unwrap());
-            }
-            eprintln!();
-            cycle_rows.push((label.clone(), cycles));
-            hit_rows.push((label.clone(), hits));
-            labels.push(label);
-        }
-    }
-    (cycle_rows, hit_rows, labels)
-}
+use amnt_bench::sweep::{sweep, LEVEL_COLS};
+use amnt_bench::{print_table, ExperimentResult, HostTimer};
 
 fn main() {
+    let timer = HostTimer::start();
     let (cycle_rows, hit_rows, _) = sweep();
-    let cols = ["L2", "L3", "L4", "L5", "L6", "L7"];
-    print_table("Figure 6: normalized cycles vs subtree level", &cols, &cycle_rows);
+    print_table("Figure 6: normalized cycles vs subtree level", &LEVEL_COLS, &cycle_rows);
     let mut result = ExperimentResult::new("fig6", "cycles normalized to volatile");
     for (row, vals) in &cycle_rows {
-        for (c, v) in cols.iter().zip(vals) {
+        for (c, v) in LEVEL_COLS.iter().zip(vals) {
             result.push(row, c, *v);
         }
     }
@@ -67,12 +23,14 @@ fn main() {
     // is optional when running `all`.
     let mut result7 = ExperimentResult::new("fig7", "subtree hit rate");
     for (row, vals) in &hit_rows {
-        for (c, v) in cols.iter().zip(vals) {
+        for (c, v) in LEVEL_COLS.iter().zip(vals) {
             result7.push(row, c, *v);
         }
     }
     println!("\nPaper shape (§6.3): deeper subtree roots protect less memory and hit rates fall;");
     println!("AMNT++ recovers ≥5% subtree hit rate for bodytrack+fluidanimate between L3 and L7.");
+    result.set_host(&timer, amnt_bench::exec::worker_count());
+    result7.set_host(&timer, amnt_bench::exec::worker_count());
     let p1 = result.save().expect("save fig6");
     let p2 = result7.save().expect("save fig7");
     println!("saved {} and {}", p1.display(), p2.display());

@@ -1,54 +1,28 @@
 //! **Figure 7** — Subtree hit rates vs AMNT subtree level (multiprogram).
 //!
-//! Same sweep as Figure 6, reporting the fraction of data writes landing in
-//! the fast subtree. The paper's headline: AMNT++ improves
-//! bodytrack+fluidanimate's hit rate (e.g. 91% → 97% at level 3) and gains
-//! at least 5% between levels 3 and 7.
+//! Same sweep as Figure 6 ([`amnt_bench::sweep`], parallel over every
+//! cell), reporting the fraction of data writes landing in the fast
+//! subtree. The paper's headline: AMNT++ improves bodytrack+fluidanimate's
+//! hit rate (e.g. 91% → 97% at level 3) and gains at least 5% between
+//! levels 3 and 7.
 
-use amnt_bench::{compare, print_table, run_length, ExperimentResult};
-use amnt_core::{AmntConfig, ProtocolKind};
-use amnt_sim::{run_pair, with_amnt_plus, MachineConfig};
-use amnt_workloads::{multiprogram_pairs, WorkloadModel};
+use amnt_bench::sweep::{sweep, LEVEL_COLS};
+use amnt_bench::{compare, print_table, ExperimentResult, HostTimer};
 
 fn main() {
-    let len = run_length();
-    let levels: Vec<u32> = (2..=7).collect();
-    let mut rows = Vec::new();
-    for (a, b) in multiprogram_pairs() {
-        let ma = WorkloadModel::by_name(a).expect("catalogued");
-        let mb = WorkloadModel::by_name(b).expect("catalogued");
-        let cfg = MachineConfig::parsec_multi();
-        for plus in [false, true] {
-            let label = format!("{a}+{b}{}", if plus { " ++" } else { "" });
-            eprint!("fig7: {label:<32}");
-            let mut hits = Vec::new();
-            for &level in &levels {
-                let amnt = AmntConfig::at_level(level);
-                let cfg_run = if plus {
-                    with_amnt_plus(cfg.clone(), amnt)
-                } else {
-                    cfg.clone()
-                };
-                let r = run_pair(&ma, &mb, cfg_run, ProtocolKind::Amnt(amnt), len)
-                    .expect("sweep run");
-                hits.push(r.subtree_hit_rate);
-                eprint!(" L{level}={:.3}", hits.last().unwrap());
-            }
-            eprintln!();
-            rows.push((label, hits));
-        }
-    }
-    let cols = ["L2", "L3", "L4", "L5", "L6", "L7"];
-    print_table("Figure 7: subtree hit rate vs subtree level", &cols, &rows);
+    let timer = HostTimer::start();
+    let (_, hit_rows, _) = sweep();
+    print_table("Figure 7: subtree hit rate vs subtree level", &LEVEL_COLS, &hit_rows);
     let mut result = ExperimentResult::new("fig7", "subtree hit rate");
-    for (row, vals) in &rows {
-        for (c, v) in cols.iter().zip(vals) {
+    for (row, vals) in &hit_rows {
+        for (c, v) in LEVEL_COLS.iter().zip(vals) {
             result.push(row, c, *v);
         }
     }
     println!("\nPaper anchors (§6.2-6.3), bodytrack+fluidanimate at L3:");
-    compare("amnt subtree hit rate", 0.91, rows[0].1[1]);
-    compare("amnt++ subtree hit rate", 0.97, rows[1].1[1]);
+    compare("amnt subtree hit rate", 0.91, hit_rows[0].1[1]);
+    compare("amnt++ subtree hit rate", 0.97, hit_rows[1].1[1]);
+    result.set_host(&timer, amnt_bench::exec::worker_count());
     let path = result.save().expect("save fig7");
     println!("saved {}", path.display());
 }

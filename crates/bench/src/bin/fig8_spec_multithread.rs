@@ -2,59 +2,73 @@
 //!
 //! Every SPEC speed model runs as four threads on the four-core machine
 //! under each protocol, normalised to the volatile ("writeback") secure
-//! memory baseline. The paper's headlines: AMNT beats Anubis by up to 41%
-//! (13% on average), stays within ~2% of leaf, and is up to 8× better than
-//! strict; write-intensive xz/lbm/deepsjeng suffer most under strict
-//! persistence; read-intensive cactuBSSN/mcf are insensitive for AMNT but
-//! not for Anubis/BMF.
+//! memory baseline; the 96 (workload × protocol) cells fan out across host
+//! cores. The paper's headlines: AMNT beats Anubis by up to 41% (13% on
+//! average), stays within ~2% of leaf, and is up to 8× better than strict;
+//! write-intensive xz/lbm/deepsjeng suffer most under strict persistence;
+//! read-intensive cactuBSSN/mcf are insensitive for AMNT but not for
+//! Anubis/BMF.
 
-use amnt_bench::{compare, figure_protocols, gmean, print_table, run_length, ExperimentResult};
+use amnt_bench::{compare, figure_protocols, gmean, print_table, run_length, ExperimentResult, Grid, HostTimer};
 use amnt_core::ProtocolKind;
-use amnt_sim::{run_multithread, MachineConfig};
+use amnt_sim::{run_multithread, MachineConfig, SimReport};
 use amnt_workloads::spec2017;
 
 fn main() {
+    let timer = HostTimer::start();
     let len = run_length();
-    let mut result = ExperimentResult::new("fig8", "cycles normalized to volatile");
-    let mut rows = Vec::new();
-    let mut per_protocol: Vec<Vec<f64>> = vec![Vec::new(); figure_protocols().len()];
-
+    let mut grid: Grid<SimReport> = Grid::new();
     for model in spec2017() {
-        eprint!("fig8: {:<14}", model.name);
         let cfg = MachineConfig::spec_multithread();
-        let baseline = run_multithread(&model, cfg.clone(), ProtocolKind::Volatile, len)
-            .expect("baseline run");
-        let mut vals = Vec::new();
-        for (idx, (name, protocol)) in figure_protocols().into_iter().enumerate() {
-            let report = run_multithread(&model, cfg.clone(), protocol, len).expect(name);
-            let norm = report.normalized_to(&baseline);
-            result.push(model.name, name, norm);
-            per_protocol[idx].push(norm);
-            vals.push(norm);
-            eprint!(" {name}={norm:.3}");
+        {
+            let cfg = cfg.clone();
+            grid.add(model.name, "volatile", move || {
+                run_multithread(&model, cfg, ProtocolKind::Volatile, len).expect("baseline run")
+            });
+        }
+        for (name, protocol) in figure_protocols() {
+            let cfg = cfg.clone();
+            grid.add(model.name, name, move || {
+                run_multithread(&model, cfg, protocol, len).expect(name)
+            });
+        }
+    }
+    let results = grid.run();
+
+    let mut result = ExperimentResult::new("fig8", "cycles normalized to volatile");
+    let cols: Vec<&str> = figure_protocols().iter().map(|(n, _)| *n).collect();
+    let rows = results.render_normalized("volatile", &cols, &mut result, true);
+    for (row, vals) in &rows {
+        eprint!("fig8: {row:<14}");
+        for (col, v) in cols.iter().zip(vals) {
+            eprint!(" {col}={v:.3}");
         }
         eprintln!();
-        rows.push((model.name.to_string(), vals));
     }
-
-    let cols: Vec<&str> = figure_protocols().iter().map(|(n, _)| *n).collect();
-    rows.push(("gmean".to_string(), per_protocol.iter().map(|v| gmean(v)).collect()));
     print_table("Figure 8: SPEC CPU 2017 multithreaded (normalized cycles)", &cols, &rows);
 
     // Paper-vs-measured highlights.
     let find = |bench: &str, col: &str| -> f64 {
-        let ci = cols.iter().position(|c| *c == col).unwrap();
+        let ci = cols.iter().position(|c| *c == col).expect("known column");
         rows.iter().find(|(n, _)| n == bench).map(|(_, v)| v[ci]).unwrap_or(f64::NAN)
+    };
+    // Per-column gmeans over benchmark rows (the appended gmean row).
+    let gmean_of = |col: &str| -> f64 {
+        let ci = cols.iter().position(|c| *c == col).expect("known column");
+        let vals: Vec<f64> = rows
+            .iter()
+            .filter(|(n, _)| n != "gmean")
+            .map(|(_, v)| v[ci])
+            .collect();
+        gmean(&vals)
     };
     println!("\nPaper anchors (§6.5):");
     compare("xz under amnt", 1.32, find("xz", "amnt"));
     compare("xz under anubis", 1.41, find("xz", "anubis"));
     compare("xz under bmf", 7.0, find("xz", "bmf"));
-    let amnt_avg = gmean(&per_protocol[4]);
-    let anubis_avg = gmean(&per_protocol[2]);
-    compare("amnt avg improvement vs anubis", 0.87, amnt_avg / anubis_avg);
-    let leaf_avg = gmean(&per_protocol[0]);
-    compare("amnt overhead vs leaf (<= 1.02)", 1.02, amnt_avg / leaf_avg);
+    compare("amnt avg improvement vs anubis", 0.87, gmean_of("amnt") / gmean_of("anubis"));
+    compare("amnt overhead vs leaf (<= 1.02)", 1.02, gmean_of("amnt") / gmean_of("leaf"));
+    result.set_host(&timer, results.workers);
     let path = result.save().expect("save results");
     println!("saved {}", path.display());
 }

@@ -4,7 +4,7 @@
 //! in-memory storage for BMF, Anubis and AMNT with the 64 kB metadata
 //! cache.
 
-use amnt_bench::ExperimentResult;
+use amnt_bench::{ExperimentResult, HostTimer};
 use amnt_core::{
     hardware_overhead, AmntConfig, AnubisConfig, BmfConfig, ProtocolKind,
 };
@@ -22,6 +22,7 @@ fn fmt_bytes(b: u64) -> String {
 }
 
 fn main() {
+    let timer = HostTimer::start();
     let cache = 64 * 1024;
     let mut result = ExperimentResult::new("table3", "additional hardware bytes");
     println!("=== Table 3: hardware overheads (64 kB metadata cache) ===\n");
@@ -45,6 +46,7 @@ fn main() {
         result.push(name, "in_memory", oh.in_memory as f64);
     }
     println!("\nPaper values: BMF 4kB / 768B / -;  Anubis 64B / 37kB / 37kB;  AMNT 64B / 96B / -");
+    result.set_host(&timer, 1);
     let path = result.save().expect("save results");
     println!("saved {}", path.display());
 }

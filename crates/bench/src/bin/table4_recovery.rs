@@ -7,12 +7,13 @@
 //! 2. A *functional* crash-recovery measurement on a small (128 MiB) device:
 //!    run a workload, pull the power, run each protocol's real recovery
 //!    procedure, and check that measured recovery traffic scales with the
-//!    protocol's stale fraction.
+//!    protocol's stale fraction. The seven per-protocol crash/recover runs
+//!    are independent and execute in parallel.
 
-use amnt_bench::ExperimentResult;
+use amnt_bench::{ExperimentResult, Grid, HostTimer};
 use amnt_core::{
     table4_scenarios, AmntConfig, AnubisConfig, OsirisConfig, ProtocolKind, RecoveryModel,
-    SecureMemory, SecureMemoryConfig,
+    RecoveryReport, SecureMemory, SecureMemoryConfig,
 };
 
 const TB: f64 = 1024.0 * 1024.0 * 1024.0 * 1024.0;
@@ -66,12 +67,25 @@ fn analytical(result: &mut ExperimentResult) {
     }
 }
 
-fn functional(result: &mut ExperimentResult) {
-    println!("\n=== Functional crash + recovery on a 128 MiB device ===\n");
-    println!(
-        "{:<12}{:>14}{:>12}{:>14}{:>12}{:>10}",
-        "protocol", "bytes read", "reads", "recomputed", "est. ms", "verified"
-    );
+/// One protocol's crash-and-recover run on the small device.
+fn crash_and_recover(kind: ProtocolKind) -> RecoveryReport {
+    let cfg = SecureMemoryConfig::with_capacity(128 * MIB);
+    let mut mem = SecureMemory::new(cfg, kind).expect("controller");
+    // A hot region plus scattered cold writes across the device.
+    let mut t = 0;
+    for i in 0..20_000u64 {
+        let addr = if i % 4 == 0 {
+            ((i * 7919) % 8192) * 4096
+        } else {
+            (i % 512) * 64
+        };
+        t = mem.write_block(t, addr, &[i as u8; 64]).expect("write");
+    }
+    mem.crash();
+    mem.recover().expect("recovery")
+}
+
+fn functional(result: &mut ExperimentResult) -> usize {
     let scenarios: Vec<(&str, ProtocolKind)> = vec![
         ("strict", ProtocolKind::Strict),
         ("leaf", ProtocolKind::Leaf),
@@ -81,49 +95,51 @@ fn functional(result: &mut ExperimentResult) {
         ("amnt L3", ProtocolKind::Amnt(AmntConfig::at_level(3))),
         ("amnt L4", ProtocolKind::Amnt(AmntConfig::at_level(4))),
     ];
+    let mut grid: Grid<RecoveryReport> = Grid::new();
+    for (name, kind) in &scenarios {
+        let kind = *kind;
+        grid.add(*name, "recovery", move || crash_and_recover(kind));
+    }
+    let reports = grid.run();
+
+    println!("\n=== Functional crash + recovery on a 128 MiB device ===\n");
+    println!(
+        "{:<12}{:>14}{:>12}{:>14}{:>12}{:>10}",
+        "protocol", "bytes read", "reads", "recomputed", "est. ms", "verified"
+    );
     let model = RecoveryModel::default();
     let mut leaf_bytes = 0u64;
-    for (name, kind) in scenarios {
-        let cfg = SecureMemoryConfig::with_capacity(128 * MIB);
-        let mut mem = SecureMemory::new(cfg, kind).expect("controller");
-        // A hot region plus scattered cold writes across the device.
-        let mut t = 0;
-        for i in 0..20_000u64 {
-            let addr = if i % 4 == 0 {
-                ((i * 7919) % 8192) * 4096
-            } else {
-                (i % 512) * 64
-            };
-            t = mem.write_block(t, addr, &[i as u8; 64]).expect("write");
-        }
-        mem.crash();
-        let report = mem.recover().expect("recovery");
-        let est_ms = model.measured_ms(&report);
-        if name == "leaf" {
+    for cell in reports.cells() {
+        let report = &cell.value;
+        let est_ms = model.measured_ms(report);
+        if cell.row == "leaf" {
             leaf_bytes = report.bytes_read;
         }
         println!(
             "{:<12}{:>14}{:>12}{:>14}{:>12.4}{:>10}",
-            name,
+            cell.row,
             report.bytes_read,
             report.nvm_reads,
             report.nodes_recomputed,
             est_ms,
             report.verified
         );
-        result.push(name, "functional_bytes_read", report.bytes_read as f64);
-        result.push(name, "functional_est_ms", est_ms);
+        result.push(&cell.row, "functional_bytes_read", report.bytes_read as f64);
+        result.push(&cell.row, "functional_est_ms", est_ms);
     }
     println!(
         "\nleaf read {leaf_bytes} bytes; AMNT levels should read ~1/8, 1/64, 1/512 of that"
     );
     println!("(plus fixed per-recovery overheads that dominate at this small scale).");
+    reports.workers
 }
 
 fn main() {
+    let timer = HostTimer::start();
     let mut result = ExperimentResult::new("table4", "recovery time (ms) and functional traffic");
     analytical(&mut result);
-    functional(&mut result);
+    let workers = functional(&mut result);
+    result.set_host(&timer, workers);
     let path = result.save().expect("save results");
     println!("\nsaved {}", path.display());
 }

@@ -3,19 +3,54 @@
 //! Crash-consistency traffic concentrates writes on metadata: strict-style
 //! protocols hammer the ancestral tree nodes of hot data, while lazy
 //! protocols spread that wear over eviction time. This experiment runs the
-//! same workload under each protocol and reports per-region wear (data,
-//! HMACs, counters, tree nodes) from the device's frame-write counters —
-//! the "write-friendly" axis SecNVM-style work optimises (paper §1's
-//! citation [42]).
+//! same workload under each protocol (one parallel grid job per protocol)
+//! and reports per-region wear (data, HMACs, counters, tree nodes) from the
+//! device's frame-write counters — the "write-friendly" axis SecNVM-style
+//! work optimises (paper §1's citation [42]).
 
-use amnt_bench::{print_table, ExperimentResult};
+use amnt_bench::{print_table, ExperimentResult, Grid, HostTimer};
 use amnt_core::{
     AmntConfig, AnubisConfig, BmfConfig, ProtocolKind, SecureMemory, SecureMemoryConfig,
+    WearSummary,
 };
 
 const MIB: u64 = 1024 * 1024;
 
+/// Wear of the four metadata regions after the synthetic write storm.
+struct RegionWear {
+    data: WearSummary,
+    hmacs: WearSummary,
+    counters: WearSummary,
+    nodes: WearSummary,
+}
+
+fn measure(kind: ProtocolKind) -> RegionWear {
+    let cfg = SecureMemoryConfig::with_capacity(64 * MIB);
+    let mut m = SecureMemory::new(cfg, kind).expect("controller");
+    let g = m.geometry().clone();
+    let mut t = 0;
+    for i in 0..40_000u64 {
+        let addr = if i % 4 == 0 {
+            ((i * 7919) % 4096) * 4096
+        } else {
+            (i % 256) * 64
+        };
+        t = m.write_block(t, addr, &[i as u8; 64]).expect("write");
+    }
+    let _ = t;
+    let data_end = g.data_capacity();
+    let ctr_lo = g.counter_addr(0);
+    let ctr_hi = ctr_lo + g.counter_blocks() * 64;
+    RegionWear {
+        data: m.wear_summary_range(0, data_end),
+        hmacs: m.wear_summary_range(data_end, ctr_lo),
+        counters: m.wear_summary_range(ctr_lo, ctr_hi),
+        nodes: m.wear_summary_range(ctr_hi, g.total_size()),
+    }
+}
+
 fn main() {
+    let timer = HostTimer::start();
     let mut result = ExperimentResult::new("wear", "frame writes per region");
     let protocols = [
         ("volatile", ProtocolKind::Volatile),
@@ -26,42 +61,29 @@ fn main() {
         ("bmf", ProtocolKind::Bmf(BmfConfig::default())),
         ("amnt", ProtocolKind::Amnt(AmntConfig::default())),
     ];
-    let mut rows = Vec::new();
+    let mut grid: Grid<RegionWear> = Grid::new();
     for (name, kind) in protocols {
-        let cfg = SecureMemoryConfig::with_capacity(64 * MIB);
-        let mut m = SecureMemory::new(cfg, kind).expect("controller");
-        let g = m.geometry().clone();
-        let mut t = 0;
-        for i in 0..40_000u64 {
-            let addr = if i % 4 == 0 {
-                ((i * 7919) % 4096) * 4096
-            } else {
-                (i % 256) * 64
-            };
-            t = m.write_block(t, addr, &[i as u8; 64]).expect("write");
-        }
-        let _ = t;
-        let data_end = g.data_capacity();
-        let ctr_lo = g.counter_addr(0);
-        let ctr_hi = ctr_lo + g.counter_blocks() * 64;
-        let data = m.wear_summary_range(0, data_end);
-        let hmacs = m.wear_summary_range(data_end, ctr_lo);
-        let counters = m.wear_summary_range(ctr_lo, ctr_hi);
-        let nodes = m.wear_summary_range(ctr_hi, g.total_size());
+        grid.add(name, "wear", move || measure(kind));
+    }
+    let results = grid.run();
+
+    let mut rows = Vec::new();
+    for cell in results.cells() {
+        let w = &cell.value;
         for (region, s) in
-            [("data", &data), ("hmac", &hmacs), ("counter", &counters), ("nodes", &nodes)]
+            [("data", &w.data), ("hmac", &w.hmacs), ("counter", &w.counters), ("nodes", &w.nodes)]
         {
-            result.push(name, &format!("{region}_total"), s.total_writes as f64);
-            result.push(name, &format!("{region}_max"), s.max_writes as f64);
+            result.push(&cell.row, &format!("{region}_total"), s.total_writes as f64);
+            result.push(&cell.row, &format!("{region}_max"), s.max_writes as f64);
         }
         rows.push((
-            name.to_string(),
+            cell.row.clone(),
             vec![
-                data.total_writes as f64,
-                hmacs.total_writes as f64,
-                counters.total_writes as f64,
-                nodes.total_writes as f64,
-                counters.max_writes.max(nodes.max_writes) as f64,
+                w.data.total_writes as f64,
+                w.hmacs.total_writes as f64,
+                w.counters.total_writes as f64,
+                w.nodes.total_writes as f64,
+                w.counters.max_writes.max(w.nodes.max_writes) as f64,
             ],
         ));
     }
@@ -72,6 +94,7 @@ fn main() {
     );
     println!("\nStrict-style protocols multiply metadata wear (nodes column) and concentrate");
     println!("it on the hot path's ancestors (md max); AMNT confines that to subtree misses.");
+    result.set_host(&timer, results.workers);
     let path = result.save().expect("save results");
     println!("saved {}", path.display());
 }

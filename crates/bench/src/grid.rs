@@ -1,0 +1,190 @@
+//! The experiment-grid API: declare the (row × column) cells of a
+//! table/figure as independent jobs, run them through the parallel
+//! executor, and read results back by label.
+//!
+//! Every bench binary used to hand-roll the same nested loops — workloads
+//! outer, protocols inner, one serial `run_single`/`run_pair` per cell.
+//! A [`Grid`] replaces those loops: cells are declared up front, executed
+//! by [`crate::exec::run_jobs`] across host cores, and collected in
+//! declaration order, so tables, JSON artifacts, and progress output are
+//! identical at any `AMNT_JOBS` value.
+
+use crate::exec;
+use crate::{gmean, ExperimentResult};
+use amnt_sim::SimReport;
+
+/// One executed cell: its labels and the job's result.
+#[derive(Debug, Clone)]
+pub struct GridCell<R> {
+    /// Row label (benchmark / scenario).
+    pub row: String,
+    /// Column label (protocol / configuration).
+    pub col: String,
+    /// The job's result.
+    pub value: R,
+}
+
+/// A declared set of independent experiment jobs, labelled row × column.
+pub struct Grid<R> {
+    #[allow(clippy::type_complexity)]
+    jobs: Vec<(String, String, Box<dyn FnOnce() -> R + Send>)>,
+}
+
+impl<R: Send> Default for Grid<R> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<R: Send> Grid<R> {
+    /// Creates an empty grid.
+    pub fn new() -> Self {
+        Grid { jobs: Vec::new() }
+    }
+
+    /// Declares one cell job. Cells are executed in parallel but collected
+    /// in declaration order.
+    pub fn add(
+        &mut self,
+        row: impl Into<String>,
+        col: impl Into<String>,
+        job: impl FnOnce() -> R + Send + 'static,
+    ) {
+        self.jobs.push((row.into(), col.into(), Box::new(job)));
+    }
+
+    /// Number of declared cells.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether no cells are declared.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Runs every cell on `workers` threads (see [`exec::run_jobs_with`]).
+    pub fn run_with(self, workers: usize) -> GridResults<R> {
+        let (labels, jobs): (Vec<(String, String)>, Vec<_>) = self
+            .jobs
+            .into_iter()
+            .map(|(row, col, job)| ((row, col), job))
+            .unzip();
+        let values = exec::run_jobs_with(workers, jobs);
+        let cells = labels
+            .into_iter()
+            .zip(values)
+            .map(|((row, col), value)| GridCell { row, col, value })
+            .collect();
+        GridResults { cells, workers }
+    }
+
+    /// Runs every cell at the environment-selected worker count
+    /// (`AMNT_JOBS`, default: available parallelism).
+    pub fn run(self) -> GridResults<R> {
+        self.run_with(exec::worker_count())
+    }
+}
+
+/// Executed grid cells, in declaration order.
+pub struct GridResults<R> {
+    cells: Vec<GridCell<R>>,
+    /// Worker count the grid ran with.
+    pub workers: usize,
+}
+
+impl<R> GridResults<R> {
+    /// All cells, in declaration order.
+    pub fn cells(&self) -> &[GridCell<R>] {
+        &self.cells
+    }
+
+    /// The first cell matching (`row`, `col`).
+    pub fn get(&self, row: &str, col: &str) -> Option<&R> {
+        self.cells.iter().find(|c| c.row == row && c.col == col).map(|c| &c.value)
+    }
+
+    /// Like [`Self::get`], panicking with the labels when absent (the
+    /// experiment binaries treat a missing cell as a harness bug).
+    pub fn value(&self, row: &str, col: &str) -> &R {
+        self.get(row, col)
+            .unwrap_or_else(|| panic!("grid has no cell ({row}, {col})"))
+    }
+
+    /// Unique row labels, in declaration order.
+    pub fn rows(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for c in &self.cells {
+            if !out.contains(&c.row) {
+                out.push(c.row.clone());
+            }
+        }
+        out
+    }
+}
+
+impl GridResults<SimReport> {
+    /// Renders the standard normalized-cycles figure from a grid whose
+    /// cells are raw [`SimReport`]s: every `cols` entry of each row is
+    /// normalised to that row's `baseline_col` cell, the cells are pushed
+    /// onto `result` (row-major, `cols` order — the artifact schema every
+    /// figure has always used), and printable table rows come back, with a
+    /// per-column geometric-mean row appended when `with_gmean`.
+    pub fn render_normalized(
+        &self,
+        baseline_col: &str,
+        cols: &[&str],
+        result: &mut ExperimentResult,
+        with_gmean: bool,
+    ) -> Vec<(String, Vec<f64>)> {
+        let mut rows = Vec::new();
+        let mut per_col: Vec<Vec<f64>> = vec![Vec::new(); cols.len()];
+        for row in self.rows() {
+            let baseline = self.value(&row, baseline_col);
+            let mut vals = Vec::with_capacity(cols.len());
+            for (ci, col) in cols.iter().enumerate() {
+                let norm = self.value(&row, col).normalized_to(baseline);
+                result.push(&row, col, norm);
+                per_col[ci].push(norm);
+                vals.push(norm);
+            }
+            rows.push((row, vals));
+        }
+        if with_gmean {
+            rows.push(("gmean".to_string(), per_col.iter().map(|v| gmean(v)).collect()));
+        }
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cells_collect_in_declaration_order() {
+        let mut grid = Grid::new();
+        for r in ["a", "b"] {
+            for c in ["x", "y", "z"] {
+                let (r2, c2) = (r.to_string(), c.to_string());
+                grid.add(r, c, move || format!("{r2}{c2}"));
+            }
+        }
+        assert_eq!(grid.len(), 6);
+        let res = grid.run_with(3);
+        let order: Vec<String> =
+            res.cells().iter().map(|c| format!("{}{}", c.row, c.col)).collect();
+        assert_eq!(order, vec!["ax", "ay", "az", "bx", "by", "bz"]);
+        assert_eq!(res.value("b", "y"), "by");
+        assert_eq!(res.rows(), vec!["a", "b"]);
+        assert!(res.get("b", "w").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "no cell")]
+    fn missing_cell_panics_with_labels() {
+        let mut grid = Grid::new();
+        grid.add("r", "c", || 1u8);
+        grid.run_with(1).value("r", "other");
+    }
+}

@@ -12,15 +12,23 @@
 //! ```
 //!
 //! Environment knobs: `AMNT_ACCESSES` (per-core measured accesses),
-//! `AMNT_WARMUP`, `AMNT_SEED`.
+//! `AMNT_WARMUP`, `AMNT_SEED`, and `AMNT_JOBS` (parallel executor worker
+//! count; default: available parallelism — see [`exec`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod exec;
+pub mod grid;
+pub mod sweep;
+
+pub use grid::{Grid, GridCell, GridResults};
 
 use amnt_core::{AmntConfig, AnubisConfig, BmfConfig, ProtocolKind};
 use amnt_sim::{RunLength, SimReport};
 use std::io::Write as _;
 use std::path::PathBuf;
+use std::time::Instant;
 
 /// Measured run length, overridable from the environment.
 pub fn run_length() -> RunLength {
@@ -75,12 +83,35 @@ pub struct ExperimentResult {
     pub metric: String,
     /// All cells.
     pub cells: Vec<Cell>,
+    /// Host wall-clock seconds spent producing this result (NaN = untimed).
+    ///
+    /// Deliberately **not** part of [`Self::to_json`]: the simulated
+    /// artifact is byte-reproducible across hosts and `AMNT_JOBS` values,
+    /// so wall-clock goes to the `results/<id>.host.json` sidecar instead
+    /// (see [`Self::to_host_json`]).
+    pub host_seconds: f64,
+    /// Executor worker count that produced the result (0 = serial/unknown).
+    pub host_workers: usize,
 }
 
 impl ExperimentResult {
     /// Creates an empty result.
     pub fn new(id: &str, metric: &str) -> Self {
-        ExperimentResult { id: id.to_string(), metric: metric.to_string(), cells: Vec::new() }
+        ExperimentResult {
+            id: id.to_string(),
+            metric: metric.to_string(),
+            cells: Vec::new(),
+            host_seconds: f64::NAN,
+            host_workers: 0,
+        }
+    }
+
+    /// Stamps host wall-clock (from a [`HostTimer`]) and the executor
+    /// worker count onto the result, so [`Self::save`] writes the
+    /// `.host.json` sidecar.
+    pub fn set_host(&mut self, timer: &HostTimer, workers: usize) {
+        self.host_seconds = timer.elapsed_seconds();
+        self.host_workers = workers;
     }
 
     /// Adds one cell.
@@ -117,7 +148,22 @@ impl ExperimentResult {
         out
     }
 
-    /// Writes the JSON artifact under `results/` and returns the path.
+    /// The wall-clock sidecar artifact (`results/<id>.host.json`): host
+    /// seconds and worker count, tracked separately from the deterministic
+    /// simulated results so perf-regression tooling can watch harness speed
+    /// without breaking byte-reproducibility of `<id>.json`.
+    pub fn to_host_json(&self) -> String {
+        format!(
+            "{{\n  \"id\": {},\n  \"host_seconds\": {},\n  \"jobs\": {}\n}}\n",
+            json_string(&self.id),
+            json_number(self.host_seconds),
+            self.host_workers
+        )
+    }
+
+    /// Writes the JSON artifact under `results/` (plus the
+    /// `<id>.host.json` wall-clock sidecar when [`Self::host_seconds`] was
+    /// stamped) and returns the path of the main artifact.
     ///
     /// # Errors
     ///
@@ -128,7 +174,32 @@ impl ExperimentResult {
         let path = dir.join(format!("{}.json", self.id));
         let mut f = std::fs::File::create(&path)?;
         f.write_all(self.to_json().as_bytes())?;
+        if self.host_seconds.is_finite() {
+            let host_path = dir.join(format!("{}.host.json", self.id));
+            let mut f = std::fs::File::create(&host_path)?;
+            f.write_all(self.to_host_json().as_bytes())?;
+        }
         Ok(path)
+    }
+}
+
+/// Wall-clock timer for the `host_seconds` artifact field.
+///
+/// Lives in the bench harness only — the simulator itself is wall-clock
+/// free by construction (amnt-lint R2 forbids `Instant` in core/sim/
+/// workloads), so host timing wraps *around* simulations, never inside.
+#[derive(Debug)]
+pub struct HostTimer(Instant);
+
+impl HostTimer {
+    /// Starts timing.
+    pub fn start() -> Self {
+        HostTimer(Instant::now())
+    }
+
+    /// Seconds elapsed since [`Self::start`].
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.0.elapsed().as_secs_f64()
     }
 }
 

@@ -1,0 +1,84 @@
+//! The subtree-level sweep shared by Figures 6 and 7.
+//!
+//! Sweeps the BIOS-configurable subtree-root level from 2 (large fast
+//! subtree, slow recovery) to 7 (tiny subtree, fast recovery) for AMNT and
+//! AMNT++ on the multiprogram pairs. Both figures read the same runs —
+//! fig6 the normalized cycles, fig7 the subtree hit rates — so the sweep
+//! executes once per binary, every (pair × OS × level) cell in parallel.
+
+use crate::grid::Grid;
+use crate::run_length;
+use amnt_core::{AmntConfig, ProtocolKind};
+use amnt_sim::{run_pair, with_amnt_plus, MachineConfig, SimReport};
+use amnt_workloads::{multiprogram_pairs, WorkloadModel};
+
+/// Rows of a sweep table: (label, one value per level).
+pub type SweepRows = Vec<(String, Vec<f64>)>;
+
+/// Swept subtree levels, lowest (largest subtree) first.
+pub const LEVELS: [u32; 6] = [2, 3, 4, 5, 6, 7];
+
+/// Column labels matching [`LEVELS`].
+pub const LEVEL_COLS: [&str; 6] = ["L2", "L3", "L4", "L5", "L6", "L7"];
+
+/// Runs the whole sweep and returns (normalized-cycle rows, hit-rate rows,
+/// row labels), each row one (pair, OS) combination in legend order.
+pub fn sweep() -> (SweepRows, SweepRows, Vec<String>) {
+    let len = run_length();
+    let mut grid: Grid<SimReport> = Grid::new();
+    for (a, b) in multiprogram_pairs() {
+        let pair_label = format!("{a}+{b}");
+        let ma = WorkloadModel::by_name(a).expect("catalogued");
+        let mb = WorkloadModel::by_name(b).expect("catalogued");
+        let cfg = MachineConfig::parsec_multi();
+        {
+            let (ma, mb, cfg) = (ma, mb, cfg.clone());
+            grid.add(pair_label.clone(), "volatile", move || {
+                run_pair(&ma, &mb, cfg, ProtocolKind::Volatile, len).expect("baseline")
+            });
+        }
+        for plus in [false, true] {
+            let label = format!("{pair_label}{}", if plus { " ++" } else { "" });
+            for level in LEVELS {
+                let amnt = AmntConfig::at_level(level);
+                let cfg_run =
+                    if plus { with_amnt_plus(cfg.clone(), amnt) } else { cfg.clone() };
+                let (ma, mb) = (ma, mb);
+                grid.add(label.clone(), format!("L{level}"), move || {
+                    run_pair(&ma, &mb, cfg_run, ProtocolKind::Amnt(amnt), len)
+                        .expect("sweep run")
+                });
+            }
+        }
+    }
+    let results = grid.run();
+
+    let mut cycle_rows = Vec::new();
+    let mut hit_rows = Vec::new();
+    let mut labels = Vec::new();
+    for (a, b) in multiprogram_pairs() {
+        let pair_label = format!("{a}+{b}");
+        let baseline = results.value(&pair_label, "volatile");
+        for plus in [false, true] {
+            let label = format!("{pair_label}{}", if plus { " ++" } else { "" });
+            eprint!("fig6/7: {label:<32}");
+            let mut cycles = Vec::new();
+            let mut hits = Vec::new();
+            for col in LEVEL_COLS {
+                let r = results.value(&label, col);
+                cycles.push(r.normalized_to(baseline));
+                hits.push(r.subtree_hit_rate);
+                eprint!(
+                    " {col}={:.3}/{:.2}",
+                    cycles.last().expect("just pushed"),
+                    hits.last().expect("just pushed")
+                );
+            }
+            eprintln!();
+            cycle_rows.push((label.clone(), cycles));
+            hit_rows.push((label.clone(), hits));
+            labels.push(label);
+        }
+    }
+    (cycle_rows, hit_rows, labels)
+}

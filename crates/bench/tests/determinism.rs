@@ -1,0 +1,59 @@
+//! Executor determinism: the parallel experiment grid must produce the
+//! same JSON artifact — byte for byte — at any worker count. This is the
+//! contract that lets `AMNT_JOBS` be a pure speed knob (DESIGN.md's
+//! executor section): simulations are seeded and self-contained, workers
+//! only change scheduling, and results land by declaration index.
+
+use amnt_bench::{ExperimentResult, Grid};
+use amnt_core::{AmntConfig, ProtocolKind};
+use amnt_sim::{run_single, MachineConfig, RunLength, SimReport};
+use amnt_workloads::WorkloadModel;
+
+const MIB: u64 = 1024 * 1024;
+
+/// A miniature fig4-style grid: three workloads × three protocols of raw
+/// simulation runs, normalized to each row's volatile baseline.
+fn small_grid() -> Grid<SimReport> {
+    let len = RunLength { accesses: 8_000, warmup: 800, seed: 7 };
+    let mut grid: Grid<SimReport> = Grid::new();
+    for name in ["fluidanimate", "canneal", "lbm"] {
+        let model = WorkloadModel::by_name(name).expect("catalogued");
+        for (col, protocol) in [
+            ("volatile", ProtocolKind::Volatile),
+            ("leaf", ProtocolKind::Leaf),
+            ("amnt", ProtocolKind::Amnt(AmntConfig::at_level(2))),
+        ] {
+            grid.add(name, col, move || {
+                let cfg = MachineConfig::parsec_single().scaled_down(128 * MIB);
+                run_single(&model, cfg, protocol, len).expect(col)
+            });
+        }
+    }
+    grid
+}
+
+fn render(workers: usize) -> String {
+    let results = small_grid().run_with(workers);
+    assert_eq!(results.workers, workers);
+    let mut result = ExperimentResult::new("determinism", "cycles normalized to volatile");
+    results.render_normalized("volatile", &["leaf", "amnt"], &mut result, true);
+    result.to_json()
+}
+
+#[test]
+fn serial_and_parallel_artifacts_are_byte_identical() {
+    let serial = render(1);
+    let parallel = render(4);
+    assert!(!serial.is_empty() && serial.contains("\"cells\""));
+    assert_eq!(serial, parallel, "AMNT_JOBS must be a pure speed knob");
+}
+
+#[test]
+fn odd_worker_counts_match_too() {
+    // Worker counts that don't divide the job count exercise the
+    // work-stealing tail; output must still be identical.
+    let reference = render(1);
+    for workers in [2, 3, 9] {
+        assert_eq!(reference, render(workers), "workers={workers}");
+    }
+}

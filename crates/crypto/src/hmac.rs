@@ -10,7 +10,11 @@ const OPAD: u8 = 0x5c;
 /// A keyed HMAC-SHA-256 instance.
 ///
 /// The secure-memory engine holds one of these per on-chip hash key and uses
-/// it for every integrity-tree node and data HMAC.
+/// it for every integrity-tree node and data HMAC. Because the key pads are
+/// exactly one SHA-256 block, their compressions are precomputed once in
+/// [`HmacSha256::new`] as *midstates*; every subsequent MAC clones a
+/// midstate instead of re-hashing the pad, saving two of the ~five
+/// compression calls a short-message MAC costs.
 ///
 /// # Examples
 ///
@@ -23,10 +27,10 @@ const OPAD: u8 = 0x5c;
 /// ```
 #[derive(Clone)]
 pub struct HmacSha256 {
-    /// Key XOR'ed with ipad, ready to prefix the inner hash.
-    inner_pad: [u8; BLOCK_SIZE],
-    /// Key XOR'ed with opad, ready to prefix the outer hash.
-    outer_pad: [u8; BLOCK_SIZE],
+    /// SHA-256 state after absorbing the ipad block, ready for the message.
+    inner_mid: Sha256,
+    /// SHA-256 state after absorbing the opad block, ready for the inner digest.
+    outer_mid: Sha256,
 }
 
 impl std::fmt::Debug for HmacSha256 {
@@ -53,17 +57,19 @@ impl HmacSha256 {
             inner_pad[i] = key_block[i] ^ IPAD;
             outer_pad[i] = key_block[i] ^ OPAD;
         }
-        HmacSha256 { inner_pad, outer_pad }
+        let mut inner_mid = Sha256::new();
+        inner_mid.update(&inner_pad);
+        let mut outer_mid = Sha256::new();
+        outer_mid.update(&outer_pad);
+        HmacSha256 { inner_mid, outer_mid }
     }
 
     /// Computes the full 32-byte MAC of `message`.
     pub fn mac(&self, message: &[u8]) -> [u8; 32] {
-        let mut inner = Sha256::new();
-        inner.update(&self.inner_pad);
+        let mut inner = self.inner_mid.clone();
         inner.update(message);
         let inner_digest = inner.finalize();
-        let mut outer = Sha256::new();
-        outer.update(&self.outer_pad);
+        let mut outer = self.outer_mid.clone();
         outer.update(&inner_digest);
         outer.finalize()
     }
@@ -71,14 +77,12 @@ impl HmacSha256 {
     /// Computes the MAC of the concatenation of several message parts,
     /// without allocating a joined buffer.
     pub fn mac_parts(&self, parts: &[&[u8]]) -> [u8; 32] {
-        let mut inner = Sha256::new();
-        inner.update(&self.inner_pad);
+        let mut inner = self.inner_mid.clone();
         for part in parts {
             inner.update(part);
         }
         let inner_digest = inner.finalize();
-        let mut outer = Sha256::new();
-        outer.update(&self.outer_pad);
+        let mut outer = self.outer_mid.clone();
         outer.update(&inner_digest);
         outer.finalize()
     }
@@ -164,6 +168,43 @@ mod tests {
         let full = hmac.mac(b"msg");
         let short = hmac.mac64(b"msg");
         assert_eq!(short.to_be_bytes(), full[..8]);
+    }
+
+    /// The midstate construction must equal RFC 2104 computed the direct
+    /// way: H((K ^ opad) || H((K ^ ipad) || m)), pads hashed from scratch.
+    #[test]
+    fn midstates_match_pad_from_scratch_reference() {
+        for (key, msg) in [
+            (&b"Jefe"[..], &b"what do ya want for nothing?"[..]),
+            (&[0x0b; 20][..], &b"Hi There"[..]),
+            (&[0xaa; 131][..], &[0xddu8; 150][..]),
+            (&b""[..], &b""[..]),
+        ] {
+            let mut key_block = [0u8; BLOCK_SIZE];
+            if key.len() > BLOCK_SIZE {
+                key_block[..32].copy_from_slice(&crate::sha256(key));
+            } else {
+                key_block[..key.len()].copy_from_slice(key);
+            }
+            let mut inner = Sha256::new();
+            inner.update(&key_block.map(|b| b ^ IPAD));
+            inner.update(msg);
+            let mut outer = Sha256::new();
+            outer.update(&key_block.map(|b| b ^ OPAD));
+            outer.update(&inner.finalize());
+            assert_eq!(HmacSha256::new(key).mac(msg), outer.finalize());
+        }
+    }
+
+    /// One midstate, cloned per message, must behave like a fresh hasher
+    /// each time (the optimisation's aliasing hazard).
+    #[test]
+    fn cloned_midstate_is_reusable() {
+        let hmac = HmacSha256::new(b"reuse");
+        let first = hmac.mac(b"message one");
+        let second = hmac.mac(b"message two");
+        assert_ne!(first, second);
+        assert_eq!(first, hmac.mac(b"message one"), "instance state must not advance");
     }
 
     #[test]

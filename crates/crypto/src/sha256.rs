@@ -212,6 +212,27 @@ mod tests {
         }
     }
 
+    /// A hasher cloned mid-stream (a *midstate*) and resumed must equal
+    /// one-shot hashing — what the HMAC ipad/opad precomputation relies on.
+    #[test]
+    fn midstate_clone_and_resume_matches_oneshot() {
+        let data: Vec<u8> = (0..300u32).map(|i| (i * 31 % 256) as u8).collect();
+        for split in [0usize, 1, 63, 64, 65, 128, 299, 300] {
+            let mut mid = Sha256::new();
+            mid.update(&data[..split]);
+            // Resume two independent clones: neither may disturb the other.
+            let mut a = mid.clone();
+            let mut b = mid.clone();
+            a.update(&data[split..]);
+            b.update(b"different tail");
+            assert_eq!(a.finalize(), sha256(&data), "split at {split}");
+            let mut oneshot = Sha256::new();
+            oneshot.update(&data[..split]);
+            oneshot.update(b"different tail");
+            assert_eq!(b.finalize(), oneshot.finalize(), "clone at {split}");
+        }
+    }
+
     #[test]
     fn byte_at_a_time_matches_oneshot() {
         let data = b"the quick brown fox jumps over the lazy dog";

@@ -1,4 +1,4 @@
-//! The six workspace rules (R1–R6) and the per-file rule driver.
+//! The seven workspace rules (R1–R7) and the per-file rule driver.
 //!
 //! Every rule works on the masked source from [`crate::lexer`] (comments
 //! and string literals blanked), except R6, which scans the complementary
@@ -39,7 +39,7 @@ pub struct Finding {
     pub path: String,
     /// 1-indexed line.
     pub line: usize,
-    /// Rule id ("R1".."R6").
+    /// Rule id ("R1".."R7").
     pub rule: &'static str,
     /// Rule severity.
     pub severity: Severity,
@@ -64,7 +64,7 @@ impl fmt::Display for Finding {
 /// Static description of one rule, for `--list-rules` and `--explain`.
 #[derive(Debug, Clone, Copy)]
 pub struct RuleInfo {
-    /// Rule id ("R1".."R6").
+    /// Rule id ("R1".."R7").
     pub id: &'static str,
     /// Rule severity.
     pub severity: Severity,
@@ -75,7 +75,7 @@ pub struct RuleInfo {
 }
 
 /// All rules, in id order.
-pub const RULES: [RuleInfo; 6] = [
+pub const RULES: [RuleInfo; 7] = [
     RuleInfo {
         id: "R1",
         severity: Severity::Error,
@@ -162,6 +162,22 @@ and retired.
 Scope: all scanned files (comments included).
 Remedy: write `TODO(#123): ...` or `FIXME(AMNT-7): ...`, or file the
 issue and delete the comment.",
+    },
+    RuleInfo {
+        id: "R7",
+        severity: Severity::Error,
+        summary: "no raw thread spawning outside the experiment executor",
+        explanation: "\
+All host parallelism flows through amnt_bench::exec, whose job pool
+collects results in deterministic declaration order — that is what makes
+`AMNT_JOBS` a pure speed knob and keeps results/*.json byte-identical at
+any worker count. A stray thread::spawn / thread::scope / thread::Builder
+elsewhere reintroduces scheduling-dependent ordering (and, in simulation
+crates, breaks the single-threaded determinism argument outright).
+Scope: all scanned non-test code except crates/bench/src/exec.rs.
+Remedy: express the work as jobs and run them with
+amnt_bench::exec::run_jobs or a bench Grid; if a new subsystem genuinely
+needs its own threading model, extend exec instead of bypassing it.",
     },
 ];
 
@@ -299,6 +315,25 @@ pub fn lint_source(path: &str, content: &str) -> Vec<Finding> {
                     "R5",
                     &format!("truncating cast on cycle/timestamp variable `{ident}` — keep it u64"),
                 ));
+            }
+        }
+    }
+
+    // R7: raw thread spawning outside the executor. Substring match: the
+    // patterns carry their own `::` path context, so they catch both
+    // `std::thread::spawn` and `thread::spawn` after a use-import.
+    if path != "crates/bench/src/exec.rs" {
+        let patterns: [(&str, &str); 3] = [
+            ("thread::spawn", "`thread::spawn` outside the executor — use amnt_bench::exec::run_jobs"),
+            ("thread::scope", "`thread::scope` outside the executor — use amnt_bench::exec::run_jobs"),
+            ("thread::Builder", "`thread::Builder` outside the executor — use amnt_bench::exec::run_jobs"),
+        ];
+        for (pat, msg) in patterns {
+            for at in substr_offsets(&masked, pat) {
+                let line = line_of(&starts, at);
+                if !in_test(line) {
+                    findings.push(mk(path, line, "R7", msg));
+                }
             }
         }
     }
@@ -471,7 +506,7 @@ mod tests {
     #[test]
     fn rule_table_is_consistent() {
         let ids: Vec<&str> = RULES.iter().map(|r| r.id).collect();
-        assert_eq!(ids, vec!["R1", "R2", "R3", "R4", "R5", "R6"]);
+        assert_eq!(ids, vec!["R1", "R2", "R3", "R4", "R5", "R6", "R7"]);
         assert!(rule_info("r3").is_some());
         assert!(rule_info("R9").is_none());
     }

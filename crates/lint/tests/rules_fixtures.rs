@@ -244,6 +244,47 @@ fn r6_ignores_embedded_words_like_mastodon() {
     assert!(rules_at("crates/bmt/src/geometry.rs", src).is_empty());
 }
 
+// ---------------------------------------------------------------- R7 ----
+
+#[test]
+fn r7_flags_raw_thread_spawning_everywhere_but_exec() {
+    let bad = "fn go() { std::thread::spawn(|| {}); }\n\
+               fn all() { std::thread::scope(|s| { let _ = s; }); }\n\
+               fn named() { let _ = std::thread::Builder::new(); }\n";
+    let rules = rules_at("crates/bench/src/bin/fig4_parsec_single.rs", bad);
+    assert_eq!(rules, vec!["R7", "R7", "R7"]);
+    // Simulation crates are no exception.
+    assert_eq!(rules_at("crates/sim/src/machine.rs", bad).len(), 3);
+}
+
+#[test]
+fn r7_flags_spawn_after_use_import() {
+    let bad = "use std::thread;\nfn go() { thread::spawn(|| {}); }\n";
+    assert_eq!(rules_at("crates/bench/src/grid.rs", bad), vec!["R7"]);
+}
+
+#[test]
+fn r7_exempts_the_executor_module_and_tests() {
+    let spawny = "fn pool() { std::thread::scope(|s| { let _ = s; }); }\n";
+    assert!(rules_at("crates/bench/src/exec.rs", spawny).is_empty());
+
+    let in_test = "fn live() {}\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                   \x20   #[test]\n\
+                   \x20   fn t() { std::thread::spawn(|| {}); }\n\
+                   }\n";
+    assert!(rules_at("crates/bench/src/grid.rs", in_test).is_empty());
+}
+
+// Tricky: the pattern appears only in a doc comment or string.
+#[test]
+fn r7_ignores_mentions_in_comments_and_strings() {
+    let src = "/// Never call `thread::spawn` here; use exec::run_jobs.\n\
+               fn f() -> &'static str { \"thread::scope is banned\" }\n";
+    assert!(rules_at("crates/bench/src/grid.rs", src).is_empty());
+}
+
 // ----------------------------------------------------------- ordering ----
 
 #[test]

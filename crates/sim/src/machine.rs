@@ -273,13 +273,9 @@ impl Machine {
         }
         let (_data, done) = self.secure.read_block(now, paddr)?;
         now = done;
+        // fill_l3 already stamps the line most-recently-used; touching it
+        // again here would record a phantom L3 hit per LLC miss.
         now = self.fill_l3(now, paddr)?;
-        if self.l3.is_some() {
-            if let Some(l3) = &mut self.l3 {
-                // Keep the L3 copy resident (already filled above).
-                l3.access(paddr, false);
-            }
-        }
         now = self.fill_l2(now, c, paddr)?;
         self.fill_l1(now, c, paddr, is_write)
     }
@@ -406,6 +402,12 @@ impl Machine {
             app_instructions: self.app_instructions,
             restructures: self.mm.restructures(),
             physical_profile: profile,
+            core_cache_stats: self
+                .cores
+                .iter()
+                .map(|c| (*c.l1.stats(), *c.l2.stats()))
+                .collect(),
+            l3_stats: self.l3.as_ref().map(|l3| *l3.stats()),
         }
     }
 }

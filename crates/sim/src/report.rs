@@ -1,5 +1,6 @@
 //! Simulation results.
 
+use amnt_cache::CacheStats;
 use amnt_core::StatsSnapshot;
 
 /// Everything measured by one simulation run (one workload × one protocol
@@ -32,6 +33,10 @@ pub struct SimReport {
     pub restructures: u64,
     /// Per-physical-page access counts, if profiling was enabled (Fig. 3).
     pub physical_profile: Option<Vec<(u64, u64)>>,
+    /// Per-core (L1, L2) hit/miss statistics over the ROI.
+    pub core_cache_stats: Vec<(CacheStats, CacheStats)>,
+    /// Shared-L3 hit/miss statistics over the ROI, if the machine has one.
+    pub l3_stats: Option<CacheStats>,
 }
 
 impl SimReport {
@@ -82,6 +87,10 @@ impl SimReport {
         stat("system.mee.counter_overflows", c.counter_overflows.to_string(), "page re-encryptions");
         stat("system.mee.shadow_writes", c.shadow_writes.to_string(), "Anubis shadow-table writes");
         stat("system.mee.max_stale_lines", c.max_stale_lines.to_string(), "battery budget needed");
+        if let Some(l3) = &self.l3_stats {
+            stat("system.l3.hits", l3.hits.to_string(), "shared-L3 hits");
+            stat("system.l3.misses", l3.misses.to_string(), "shared-L3 misses");
+        }
         let t = &self.snapshot.timeline;
         stat("system.pcm.reads", t.reads.to_string(), "media reads");
         stat("system.pcm.writes", t.writes.to_string(), "media writes");

@@ -174,6 +174,32 @@ fn profiling_reproduces_figure_3_shape() {
 }
 
 #[test]
+fn l3_stats_count_each_demand_access_once() {
+    // Regression: the memory-miss path used to touch the L3 a second time
+    // after filling it, recording a phantom L3 hit for every LLC miss.
+    // Every L2 read miss probes the L3 exactly once, so the L3's read
+    // accesses must equal the cores' L2 read misses, and every L3 read
+    // miss is by definition a whole-hierarchy miss.
+    let (a, b) = multiprogram_pairs()[0];
+    let r = run_pair(&model(a), &model(b), small_multi(), ProtocolKind::Leaf, RunLength::quick())
+        .expect("run");
+    let l3 = r.l3_stats.expect("parsec_multi has a shared L3");
+    let l2_read_misses: u64 = r.core_cache_stats.iter().map(|(_, l2)| l2.read_misses).sum();
+    assert_eq!(
+        l3.read_hits + l3.read_misses,
+        l2_read_misses,
+        "L3 read accesses must match L2 read misses (phantom L3 touches?)"
+    );
+    assert_eq!(l3.read_misses, r.llc_misses, "each L3 read miss is one LLC miss");
+    assert!(l3.hits + l3.misses > 0, "workload must exercise the L3");
+
+    // The single-core machine has no L3; its report says so.
+    let single = run("lbm", ProtocolKind::Leaf);
+    assert!(single.l3_stats.is_none());
+    assert_eq!(single.core_cache_stats.len(), 1);
+}
+
+#[test]
 fn runs_are_deterministic() {
     let a = run("gcc", ProtocolKind::Amnt(AmntConfig::default()));
     let b = run("gcc", ProtocolKind::Amnt(AmntConfig::default()));

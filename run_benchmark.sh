@@ -13,7 +13,14 @@
 #   protocol  : volatile | leaf | strict | plp | osiris | anubis | bmf | amnt
 #
 # Output: m5out/<benchmark>-<protocol>[-modified]/stats.txt (gem5-style).
+#
+# AMNT_JOBS (default: all cores) is exported to every binary this script
+# runs: the grid-based bench binaries (fig4..table4, all) parallelise
+# their experiment cells across that many workers. Results are
+# byte-identical at any value — it is purely a speed knob.
 set -euo pipefail
+
+export AMNT_JOBS="${AMNT_JOBS:-$(nproc 2>/dev/null || echo 1)}"
 
 usage() {
     sed -n '2,16p' "$0" | sed 's/^# \{0,1\}//'

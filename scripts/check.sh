@@ -29,6 +29,9 @@ cargo build --release --workspace || fail=1
 echo "== cargo test --workspace =="
 cargo test -q --workspace || fail=1
 
+echo "== perfgate (results/*.json vs EXPERIMENTS.md reference rows) =="
+cargo run --release -p amnt-bench --bin perfgate || fail=1
+
 if [ "$fail" -ne 0 ]; then
     echo "check.sh: FAILED"
     exit 1
