@@ -1,0 +1,85 @@
+//! **Fault sweep** — exhaustive crash-point exploration coverage artifact.
+//!
+//! For each recoverable protocol, crash a seeded workload at every device-
+//! write ordinal (clean and torn-line variants) and at every op boundary
+//! with a dropped WPQ tail, recover, and classify each outcome. Emits
+//! `results/fault_sweep.json` with the per-protocol coverage counters that
+//! `perfgate` checks (silent corruption and boundary deficits must be
+//! exactly zero at any workload size).
+//!
+//! `AMNT_FAULT_OPS` scales the workload (default 100 ops — the acceptance
+//! sweep). The per-protocol sweeps are independent and run in parallel;
+//! each sweep is a pure function of (protocol, seed, ops), so the artifact
+//! is byte-identical across `AMNT_JOBS` settings.
+
+use amnt_bench::{ExperimentResult, Grid, HostTimer};
+use amnt_core::fault::{run_sweep, sweep_protocols};
+use amnt_core::{FaultSweepConfig, SweepSummary};
+
+fn main() {
+    let timer = HostTimer::start();
+    let ops = std::env::var("AMNT_FAULT_OPS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(100);
+    let cfg = FaultSweepConfig { ops, ..FaultSweepConfig::default() };
+
+    let mut grid: Grid<SweepSummary> = Grid::new();
+    for (name, kind) in sweep_protocols() {
+        let cfg = cfg.clone();
+        grid.add(name, "sweep", move || {
+            run_sweep(kind, &cfg).unwrap_or_else(|e| panic!("{name}: sweep setup failed: {e}"))
+        });
+    }
+    let results = grid.run();
+
+    println!("=== Fault sweep: {ops}-op seeded workload, every device-write crash point ===\n");
+    println!(
+        "{:<9}{:>7}{:>7}{:>7}{:>9}{:>9}{:>7}{:>7}{:>9}{:>7}{:>9}",
+        "protocol",
+        "points",
+        "recov",
+        "detect",
+        "torn_rec",
+        "torn_det",
+        "tl_rec",
+        "tl_det",
+        "at_read",
+        "silent",
+        "boundary"
+    );
+    let mut result =
+        ExperimentResult::new("fault_sweep", "crash-point exploration outcomes per protocol");
+    for cell in results.cells() {
+        let s = &cell.value;
+        println!(
+            "{:<9}{:>7}{:>7}{:>7}{:>9}{:>9}{:>7}{:>7}{:>9}{:>7}{:>9}",
+            cell.row,
+            s.crash_points,
+            s.recovered,
+            s.detected,
+            s.torn_recovered,
+            s.torn_detected,
+            s.tail_recovered,
+            s.tail_detected,
+            s.detected_at_read,
+            s.silent,
+            s.boundary_deficit
+        );
+        result.push(&cell.row, "crash_points", s.crash_points as f64);
+        result.push(&cell.row, "recovered", s.recovered as f64);
+        result.push(&cell.row, "detected", s.detected as f64);
+        result.push(&cell.row, "torn_recovered", s.torn_recovered as f64);
+        result.push(&cell.row, "torn_detected", s.torn_detected as f64);
+        result.push(&cell.row, "tail_recovered", s.tail_recovered as f64);
+        result.push(&cell.row, "tail_detected", s.tail_detected as f64);
+        result.push(&cell.row, "detected_at_read", s.detected_at_read as f64);
+        result.push(&cell.row, "silent", s.silent as f64);
+        result.push(&cell.row, "boundary_deficit", s.boundary_deficit as f64);
+        result.push(&cell.row, "bounds_violations", s.bounds_violations as f64);
+    }
+    println!("\nsilent corruption and boundary deficits must be zero for every protocol.");
+    result.set_host(&timer, results.workers);
+    let path = result.save().expect("save results");
+    println!("saved {}", path.display());
+}

@@ -253,15 +253,16 @@ impl SecureMemory {
 
     /// Remembers the last-persisted image of `addr` before a lazy update, if
     /// not already remembered.
-    fn snapshot_before_lazy_update(&mut self, addr: u64) {
+    fn snapshot_before_lazy_update(&mut self, addr: u64) -> Result<(), IntegrityError> {
         if !self.persisted_images.contains_key(&addr) {
-            let img = self.nvm.read_block_untimed(addr);
+            let img = self.nvm.read_block_untimed(addr)?;
             self.persisted_images.insert(addr, img);
             let stale = self.persisted_images.len() as u64;
             if stale > self.stats.max_stale_lines {
                 self.stats.max_stale_lines = stale;
             }
         }
+        Ok(())
     }
 
     /// Marks `addr` persisted: drops the rollback image and cleans the line.
@@ -288,14 +289,14 @@ impl SecureMemory {
         let (mut child_bytes, mut child_mac, mut slot, mut cur): (NodeBytes, u64, usize, NodeId) =
             match child {
                 ChildRef::Counter(index) => {
-                    let bytes = self.nvm.read_block_untimed(g.counter_addr(index));
+                    let bytes = self.nvm.read_block_untimed(g.counter_addr(index))?;
                     let mac = self.bmt.hasher().counter_mac(&bytes, index);
                     self.stats.hashes += 1;
                     t += self.config.timing.hash;
                     (bytes, mac, (index % TREE_ARITY) as usize, g.counter_parent(index))
                 }
                 ChildRef::Node(node) => {
-                    let bytes = self.nvm.read_block_untimed(g.node_addr(node));
+                    let bytes = self.nvm.read_block_untimed(g.node_addr(node))?;
                     let mac = self.bmt.hasher().node_mac(&bytes, node);
                     self.stats.hashes += 1;
                     t += self.config.timing.hash;
@@ -344,18 +345,18 @@ impl SecureMemory {
             let bytes = if cached {
                 self.metadata_cache.access(addr, false);
                 t += self.config.timing.metadata_cache;
-                self.nvm.read_block_untimed(addr)
+                self.nvm.read_block_untimed(addr)?
             } else if self.config.parallel_path_fetch {
                 // All path addresses are known up front: fetches overlap,
                 // and only the (pipelined) hash chain accumulates.
                 let done = self.timeline.read(walk_start, addr);
                 t = t.max(done);
                 self.stats.metadata_fetches += 1;
-                self.nvm.read_block_untimed(addr)
+                self.nvm.read_block_untimed(addr)?
             } else {
                 t = self.timeline.read(t, addr);
                 self.stats.metadata_fetches += 1;
-                self.nvm.read_block_untimed(addr)
+                self.nvm.read_block_untimed(addr)?
             };
             let stored = slot_of(&bytes, slot);
             if !Self::slot_matches(stored, child_mac, &child_bytes) {
@@ -388,7 +389,7 @@ impl SecureMemory {
             t = self.verify_up(t, ChildRef::Counter(index))?;
             t = self.meta_fill(t, addr, false)?;
         }
-        let bytes = self.nvm.read_block_untimed(addr);
+        let bytes = self.nvm.read_block_untimed(addr)?;
         Ok((CounterBlock::decode(&bytes), t))
     }
 
@@ -419,7 +420,7 @@ impl SecureMemory {
             t = self.meta_fill(t, line, false)?;
         }
         let mut buf = [0u8; 8];
-        self.nvm.read_bytes_untimed(hmac_addr, &mut buf);
+        self.nvm.read_bytes_untimed(hmac_addr, &mut buf)?;
         Ok((u64::from_be_bytes(buf), t))
     }
 
@@ -451,7 +452,7 @@ impl SecureMemory {
         self.stats.data_reads += 1;
         // Data fetch and counter/HMAC fetches proceed in parallel.
         let data_done = self.timeline.read(now, addr);
-        let ct = self.nvm.read_block_untimed(addr);
+        let ct = self.nvm.read_block_untimed(addr)?;
         let index = self.bmt.geometry().counter_index(addr);
         let (counter, t_ctr) = self.fetch_counter(now, index)?;
         let (stored_mac, t_meta) = self.fetch_hmac(t_ctr, addr)?;
@@ -564,12 +565,27 @@ impl SecureMemory {
         let (mut counter, mut t) = self.fetch_counter(now, index)?;
         let outcome = counter.increment(slot);
         let mut force_counter_persist = false;
+        let mut reencrypting = false;
         if outcome == IncrementOutcome::MajorOverflow {
             let old = {
-                let bytes = self.nvm.read_block_untimed(g.counter_addr(index));
+                let bytes = self.nvm.read_block_untimed(g.counter_addr(index))?;
                 CounterBlock::decode(&bytes)
             };
-            t = self.reencrypt_page(t, index, &old, &counter)?;
+            // Page re-encryption is a hardware write transaction: the new
+            // ciphertexts, their MACs, and the bumped major counter land
+            // all-or-nothing. A power cut between them would leave the page
+            // encrypted under a major the media counter does not yet carry —
+            // an *undetectable* corruption, so the device must never expose
+            // that window.
+            self.nvm.begin_atomic();
+            reencrypting = true;
+            match self.reencrypt_page(t, index, &old, &counter) {
+                Ok(done) => t = done,
+                Err(e) => {
+                    self.nvm.end_atomic();
+                    return Err(e);
+                }
+            }
             force_counter_persist = !matches!(self.protocol, ProtocolState::Volatile);
         }
 
@@ -577,20 +593,15 @@ impl SecureMemory {
         let ct = self.engine.encrypt_block(addr, counter.major(), counter.minor(slot), data);
         let mac = self.bmt.hasher().data_mac(&ct, addr, counter.major(), counter.minor(slot));
         self.stats.hashes += 2; // data MAC + pad generation amortised
-        self.nvm.write_block_untimed(addr, &ct);
+        if let Err(e) = self.nvm.write_block_untimed(addr, &ct) {
+            if reencrypting {
+                self.nvm.end_atomic();
+            }
+            return Err(e.into());
+        }
 
         let hmac_addr = g.hmac_addr(addr);
         let hmac_line = hmac_addr & !(BLOCK_SIZE as u64 - 1);
-        // The HMAC line must be resident to update it.
-        if !self.metadata_cache.contains(hmac_line) {
-            t = self.timeline.read(t, hmac_line);
-            self.stats.metadata_fetches += 1;
-            t = self.meta_fill(t, hmac_line, false)?;
-        } else {
-            self.metadata_cache.access(hmac_line, false);
-            t += self.config.timing.metadata_cache;
-        }
-
         let counter_addr = g.counter_addr(index);
         // Strict-style writes persist the whole chain in order (data, HMAC,
         // counter, then every ancestral node): each persist may only start
@@ -603,42 +614,18 @@ impl SecureMemory {
             }
             _ => false,
         };
-        // Decide leaf persistence per protocol.
-        let (persist_data, persist_hmac, persist_counter, blocking) = match &mut self.protocol {
-            ProtocolState::Volatile | ProtocolState::Battery(_) => {
-                (false, false, false, false)
-            }
-            ProtocolState::Strict
-            | ProtocolState::Leaf
-            | ProtocolState::Plp
-            | ProtocolState::Bmf(_) => (true, true, true, true),
-            ProtocolState::Osiris(s) => {
-                let p = s.record_update(index) || force_counter_persist;
-                if p {
-                    s.mark_persisted(index);
-                }
-                (true, true, p, true)
-            }
-            ProtocolState::Anubis(s) => {
-                let p = s.osiris.record_update(index) || force_counter_persist;
-                if p {
-                    s.osiris.mark_persisted(index);
-                }
-                (true, true, p, true)
-            }
-            ProtocolState::Amnt(_) => (true, true, true, true),
-        };
-        let persist_counter = persist_counter || force_counter_persist;
-
-        // Apply content updates (NVM is the logical current state).
-        if !persist_hmac {
-            self.snapshot_before_lazy_update(hmac_line);
+        // The remaining leaf content updates belong to the re-encryption
+        // transaction when one is open (a new major counter must land with
+        // the re-encrypted page); the bracket closes exactly once whether
+        // they succeed or not.
+        let leaf = self.write_block_leaf_meta(
+            t, index, hmac_line, hmac_addr, counter_addr, &counter, mac, force_counter_persist,
+        );
+        if reencrypting {
+            self.nvm.end_atomic();
         }
-        self.nvm.write_bytes_untimed(hmac_addr, &mac.to_be_bytes());
-        if !persist_counter {
-            self.snapshot_before_lazy_update(counter_addr);
-        }
-        self.nvm.write_block_untimed(counter_addr, &counter.encode());
+        let (persist_data, persist_hmac, persist_counter, blocking, leaf_t) = leaf?;
+        t = leaf_t;
 
         // Issue the leaf persist group: ordered chain for strict-style
         // writes, parallel banks with one durability wait otherwise.
@@ -692,6 +679,70 @@ impl SecureMemory {
 
         self.stats.wait_cycles += t.saturating_sub(now);
         Ok(t)
+    }
+
+    /// The leaf-metadata content updates of a write: HMAC-line residency,
+    /// the protocol's persist decision, and the HMAC + counter content
+    /// writes. Split out of [`Self::write_block`] so the page re-encryption
+    /// transaction (when open) has a single close point around it.
+    #[allow(clippy::too_many_arguments)]
+    fn write_block_leaf_meta(
+        &mut self,
+        mut t: u64,
+        index: u64,
+        hmac_line: u64,
+        hmac_addr: u64,
+        counter_addr: u64,
+        counter: &CounterBlock,
+        mac: u64,
+        force_counter_persist: bool,
+    ) -> Result<(bool, bool, bool, bool, u64), IntegrityError> {
+        // The HMAC line must be resident to update it.
+        if !self.metadata_cache.contains(hmac_line) {
+            t = self.timeline.read(t, hmac_line);
+            self.stats.metadata_fetches += 1;
+            t = self.meta_fill(t, hmac_line, false)?;
+        } else {
+            self.metadata_cache.access(hmac_line, false);
+            t += self.config.timing.metadata_cache;
+        }
+        // Decide leaf persistence per protocol.
+        let (persist_data, persist_hmac, persist_counter, blocking) = match &mut self.protocol {
+            ProtocolState::Volatile | ProtocolState::Battery(_) => {
+                (false, false, false, false)
+            }
+            ProtocolState::Strict
+            | ProtocolState::Leaf
+            | ProtocolState::Plp
+            | ProtocolState::Bmf(_) => (true, true, true, true),
+            ProtocolState::Osiris(s) => {
+                let p = s.record_update(index) || force_counter_persist;
+                if p {
+                    s.mark_persisted(index);
+                }
+                (true, true, p, true)
+            }
+            ProtocolState::Anubis(s) => {
+                let p = s.osiris.record_update(index) || force_counter_persist;
+                if p {
+                    s.osiris.mark_persisted(index);
+                }
+                (true, true, p, true)
+            }
+            ProtocolState::Amnt(_) => (true, true, true, true),
+        };
+        let persist_counter = persist_counter || force_counter_persist;
+
+        // Apply content updates (NVM is the logical current state).
+        if !persist_hmac {
+            self.snapshot_before_lazy_update(hmac_line)?;
+        }
+        self.nvm.write_bytes_untimed(hmac_addr, &mac.to_be_bytes())?;
+        if !persist_counter {
+            self.snapshot_before_lazy_update(counter_addr)?;
+        }
+        self.nvm.write_block_untimed(counter_addr, &counter.encode())?;
+        Ok((persist_data, persist_hmac, persist_counter, blocking, t))
     }
 
     /// Eagerly updates the ancestral path of counter `index` with
@@ -775,12 +826,12 @@ impl SecureMemory {
             let addr = g.node_addr(node);
             let persist_here = strict_nodes
                 || matches!(&self.protocol, ProtocolState::Bmf(_)); // below cover: write-through
-            let mut image = self.nvm.read_block_untimed(addr);
+            let mut image = self.nvm.read_block_untimed(addr)?;
             if !persist_here {
-                self.snapshot_before_lazy_update(addr);
+                self.snapshot_before_lazy_update(addr)?;
             }
             set_slot(&mut image, child_slot, child_mac);
-            self.nvm.write_block_untimed(addr, &image);
+            self.nvm.write_block_untimed(addr, &image)?;
             if persist_here {
                 let not_before = if ordered_chain { chain } else { 0 };
                 let (done, stall) = self.timeline.write(t, addr, not_before);
@@ -829,10 +880,10 @@ impl SecureMemory {
             }
             t = self.ensure_node(t, node)?;
             let addr = g.node_addr(node);
-            self.snapshot_before_lazy_update(addr);
-            let mut image = self.nvm.read_block_untimed(addr);
+            self.snapshot_before_lazy_update(addr)?;
+            let mut image = self.nvm.read_block_untimed(addr)?;
             set_slot(&mut image, child_slot, child_mac);
-            self.nvm.write_block_untimed(addr, &image);
+            self.nvm.write_block_untimed(addr, &image)?;
             self.metadata_cache.access(addr, true);
             child_mac = self.bmt.hasher().node_mac(&image, node);
             self.stats.hashes += 1;
@@ -908,7 +959,7 @@ impl SecureMemory {
             _ => None,
         }) {
             let old_addr = g.node_addr(old_id);
-            self.nvm.write_block_untimed(old_addr, &old_image);
+            self.nvm.write_block_untimed(old_addr, &old_image)?;
             self.timeline.write(t, old_addr, 0);
             self.stats.persist_writes += 1;
             self.mark_persisted(old_addr);
@@ -938,9 +989,9 @@ impl SecureMemory {
                 }
                 t = self.ensure_node(t, node)?;
                 let addr = g.node_addr(node);
-                let mut image = self.nvm.read_block_untimed(addr);
+                let mut image = self.nvm.read_block_untimed(addr)?;
                 set_slot(&mut image, child_slot, child_mac);
-                self.nvm.write_block_untimed(addr, &image);
+                self.nvm.write_block_untimed(addr, &image)?;
                 let (done, _stall) = self.timeline.write(t, addr, chain);
                 chain = done;
                 self.stats.persist_writes += 1;
@@ -962,7 +1013,7 @@ impl SecureMemory {
             t = self.verify_up(t, ChildRef::Node(winner_id))?;
             t = self.meta_fill(t, new_addr, false)?;
         }
-        let image = self.nvm.read_block_untimed(new_addr);
+        let image = self.nvm.read_block_untimed(new_addr)?;
         if let ProtocolState::Amnt(s) = &mut self.protocol {
             s.register = Some((winner_id, image));
             s.history.start_interval(Some(winner));
@@ -1039,7 +1090,7 @@ impl SecureMemory {
         };
         // The departing node's on-chip image becomes the NVM copy.
         let addr = g.node_addr(node);
-        self.nvm.write_block_untimed(addr, &entry.image);
+        self.nvm.write_block_untimed(addr, &entry.image)?;
         self.timeline.write(t, addr, 0);
         self.stats.persist_writes += 1;
         self.mark_persisted(addr);
@@ -1052,7 +1103,7 @@ impl SecureMemory {
         for child in &children {
             let caddr = g.node_addr(*child);
             t = self.timeline.read(t, caddr);
-            let image = self.nvm.read_block_untimed(caddr);
+            let image = self.nvm.read_block_untimed(caddr)?;
             if let ProtocolState::Bmf(s) = &mut self.protocol {
                 s.roots.insert(*child, crate::protocol::bmf_entry(image));
             }
@@ -1091,7 +1142,7 @@ impl SecureMemory {
             self.stats.hashes += 1;
             // Departing children persist their images to NVM.
             let caddr = g.node_addr(*child);
-            self.nvm.write_block_untimed(caddr, img);
+            self.nvm.write_block_untimed(caddr, img)?;
             self.timeline.write(t, caddr, 0);
             self.stats.persist_writes += 1;
             self.mark_persisted(caddr);
@@ -1129,10 +1180,10 @@ impl SecureMemory {
             if addr >= g.data_capacity() {
                 break;
             }
-            let ct = self.nvm.read_block_untimed(addr);
+            let ct = self.nvm.read_block_untimed(addr)?;
             let hmac_addr = g.hmac_addr(addr);
             let mut stored = [0u8; 8];
-            self.nvm.read_bytes_untimed(hmac_addr, &mut stored);
+            self.nvm.read_bytes_untimed(hmac_addr, &mut stored)?;
             let stored_mac = u64::from_be_bytes(stored);
             if stored_mac == 0 && old.minor(slot) == 0 && ct.iter().all(|&b| b == 0) {
                 continue; // untouched block
@@ -1142,8 +1193,8 @@ impl SecureMemory {
             let new_ct = self.engine.encrypt_block(addr, new.major(), 0, &pt);
             let new_mac = self.bmt.hasher().data_mac(&new_ct, addr, new.major(), 0);
             self.stats.hashes += 1;
-            self.nvm.write_block_untimed(addr, &new_ct);
-            self.nvm.write_bytes_untimed(hmac_addr, &new_mac.to_be_bytes());
+            self.nvm.write_block_untimed(addr, &new_ct)?;
+            self.nvm.write_bytes_untimed(hmac_addr, &new_mac.to_be_bytes())?;
             self.timeline.write(t, addr, 0);
             let hmac_line = hmac_addr & !(BLOCK_SIZE as u64 - 1);
             self.timeline.write(t, hmac_line, 0);
@@ -1180,9 +1231,16 @@ impl SecureMemory {
                 self.metadata_cache.clean(addr);
             }
         }
+        // Power actually fails now. Device-level faults — a lost or torn
+        // in-flight write, a dropped WPQ tail — land first, so the rollback
+        // writes below model the *post-fault* media and are not themselves
+        // subject to the armed fault plan (the plan is consumed here).
+        self.nvm.crash();
         let shadows: Vec<(u64, NodeBytes)> = std::mem::take(&mut self.persisted_images).into_iter().collect();
         for (addr, image) in shadows {
-            self.nvm.write_block_untimed(addr, &image);
+            // Addresses were validated when snapshotted and power is back on,
+            // so the restore cannot fail.
+            let _ = self.nvm.write_block_untimed(addr, &image);
         }
         self.metadata_cache.clear();
         self.timeline.reset();
@@ -1193,7 +1251,6 @@ impl SecureMemory {
             ProtocolState::Bmf(s) => s.crash(),
             _ => {}
         }
-        self.nvm.crash();
         self.crashed = true;
     }
 

@@ -40,6 +40,7 @@
 mod config;
 mod controller;
 mod error;
+pub mod fault;
 mod hybrid;
 mod overhead;
 mod protocol;
@@ -51,6 +52,7 @@ mod untimed;
 pub use config::{MemTiming, SecureMemoryConfig, WriteQueueConfig};
 pub use controller::{SecureMemory, BLOCK_SIZE};
 pub use error::{IntegrityError, RecoveryError};
+pub use fault::{FaultSweepConfig, SweepSummary};
 pub use hybrid::{HybridConfig, HybridMemory, Partition};
 pub use overhead::{hardware_overhead, HardwareOverhead};
 pub use protocol::{

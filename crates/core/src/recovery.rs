@@ -55,6 +55,11 @@ impl SecureMemory {
         }
         let kind = self.protocol();
         let (nvm, _, _, _, _) = self.parts_for_recovery();
+        // A dirty shutdown means the device itself lost or tore writes
+        // (power cut mid-write, or a dropped write-pending-queue tail) —
+        // strictly worse than the clean "volatile state lost" crash the
+        // per-protocol procedures are designed for.
+        let dirty_shutdown = nvm.dirty_shutdown();
         let before = *nvm.stats();
         let mut counters_recovered = 0;
         let mut nodes_recomputed = 0;
@@ -126,6 +131,21 @@ impl SecureMemory {
             }
         };
 
+        // Safety net for device-level faults: the per-protocol procedure
+        // above may have healed everything it knows about, but nothing in it
+        // proves the media survived a mid-write power cut or a dropped WPQ
+        // tail intact. Re-derive the whole tree from the counters and check
+        // it against the on-chip root register so such damage is always
+        // *detected* (an error), never silently absorbed. Clean op-boundary
+        // crashes skip this, keeping Strict/PLP recovery at zero work.
+        if dirty_shutdown {
+            let (nvm, bmt, root, _, _) = self.parts_for_recovery();
+            let root = *root;
+            if !bmt.verify_full(nvm, &root)? {
+                return Err(RecoveryError::RootMismatch);
+            }
+        }
+
         let (nvm, _, _, _, _) = self.parts_for_recovery();
         let after = *nvm.stats();
         self.clear_crashed();
@@ -162,7 +182,7 @@ impl SecureMemory {
         let page_base = index * PAGE_SIZE;
         // Untouched page fast path: zero counter and zero HMACs.
         let mut hmacs = vec![0u8; (PAGE_SIZE / 64 * 8) as usize];
-        nvm.read_bytes_untimed(g.hmac_addr(page_base), &mut hmacs);
+        nvm.read_bytes_untimed(g.hmac_addr(page_base), &mut hmacs)?;
         if counter.is_zero() && hmacs.iter().all(|&b| b == 0) {
             return Ok(false);
         }
@@ -173,7 +193,7 @@ impl SecureMemory {
                 break;
             }
             let stored_mac = be_u64(&hmacs[slot * 8..slot * 8 + 8]);
-            let ct = nvm.read_block_untimed(addr);
+            let ct = nvm.read_block_untimed(addr)?;
             let base_minor = counter.minor(slot);
             if stored_mac == 0 && base_minor == 0 && ct.iter().all(|&b| b == 0) {
                 continue; // untouched block

@@ -5,28 +5,33 @@
 //! separately (or intentionally not at all). These helpers bypass the
 //! device's traffic counters' *semantics* being conflated with model
 //! bookkeeping by keeping such accesses obviously marked at call sites.
+//!
+//! All helpers are fallible: with a fault hook armed (see
+//! [`amnt_nvm::FaultHook`]) any device access may observe the power failing
+//! and must fail-stop rather than keep mutating the media, so errors
+//! propagate to the interrupted operation instead of panicking.
 
 use amnt_bmt::NodeBytes;
-use amnt_nvm::Nvm;
+use amnt_nvm::{Nvm, NvmError};
 
 pub(crate) trait NvmUntimed {
-    fn read_block_untimed(&mut self, addr: u64) -> NodeBytes;
-    fn write_block_untimed(&mut self, addr: u64, data: &NodeBytes);
-    fn read_bytes_untimed(&mut self, addr: u64, buf: &mut [u8]);
-    fn write_bytes_untimed(&mut self, addr: u64, data: &[u8]);
+    fn read_block_untimed(&mut self, addr: u64) -> Result<NodeBytes, NvmError>;
+    fn write_block_untimed(&mut self, addr: u64, data: &NodeBytes) -> Result<(), NvmError>;
+    fn read_bytes_untimed(&mut self, addr: u64, buf: &mut [u8]) -> Result<(), NvmError>;
+    fn write_bytes_untimed(&mut self, addr: u64, data: &[u8]) -> Result<(), NvmError>;
 }
 
 impl NvmUntimed for Nvm {
-    fn read_block_untimed(&mut self, addr: u64) -> NodeBytes {
-        self.read_block(addr).expect("controller addresses are validated")
+    fn read_block_untimed(&mut self, addr: u64) -> Result<NodeBytes, NvmError> {
+        self.read_block(addr)
     }
-    fn write_block_untimed(&mut self, addr: u64, data: &NodeBytes) {
-        self.write_block(addr, data).expect("controller addresses are validated")
+    fn write_block_untimed(&mut self, addr: u64, data: &NodeBytes) -> Result<(), NvmError> {
+        self.write_block(addr, data)
     }
-    fn read_bytes_untimed(&mut self, addr: u64, buf: &mut [u8]) {
-        self.read_bytes(addr, buf).expect("controller addresses are validated")
+    fn read_bytes_untimed(&mut self, addr: u64, buf: &mut [u8]) -> Result<(), NvmError> {
+        self.read_bytes(addr, buf)
     }
-    fn write_bytes_untimed(&mut self, addr: u64, data: &[u8]) {
-        self.write_bytes(addr, data).expect("controller addresses are validated")
+    fn write_bytes_untimed(&mut self, addr: u64, data: &[u8]) -> Result<(), NvmError> {
+        self.write_bytes(addr, data)
     }
 }

@@ -1,0 +1,69 @@
+//! Exhaustive crash-point exploration: every device-write ordinal of a
+//! seeded workload is a crash point, in clean, torn-line, and dropped-WPQ-
+//! tail variants, for every recoverable protocol. The acceptance property:
+//! each crash ends in verified recovery or a *detected* error — zero silent
+//! corruption — and clean op-boundary crashes always fully recover.
+//!
+//! `AMNT_FAULT_OPS` scales the workload (default 24 ops: debug-friendly;
+//! the `fault_sweep` bench bin runs the 100-op acceptance sweep).
+
+use amnt_core::fault::{run_sweep, sweep_protocols};
+use amnt_core::FaultSweepConfig;
+
+fn sweep_config() -> FaultSweepConfig {
+    let ops = std::env::var("AMNT_FAULT_OPS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(24);
+    FaultSweepConfig { ops, ..FaultSweepConfig::default() }
+}
+
+#[test]
+fn no_silent_corruption_at_any_crash_point() {
+    let cfg = sweep_config();
+    for (name, kind) in sweep_protocols() {
+        let s = run_sweep(kind, &cfg).unwrap_or_else(|e| panic!("{name}: sweep setup: {e}"));
+        assert!(s.crash_points > 0, "{name}: workload produced no device writes");
+        assert_eq!(s.silent, 0, "{name}: silent corruption outcomes: {s:?}");
+        assert_eq!(s.boundary_deficit, 0, "{name}: boundary crashes not recovered: {s:?}");
+        assert_eq!(s.bounds_violations, 0, "{name}: recovery work exceeded model bounds: {s:?}");
+        // Every clean crash point was classified one way or the other.
+        assert_eq!(
+            s.recovered + s.detected,
+            s.crash_points,
+            "{name}: unclassified clean crash points: {s:?}"
+        );
+        // Torn variants cover both halves of every ordinal.
+        assert_eq!(
+            s.torn_recovered + s.torn_detected,
+            2 * s.crash_points,
+            "{name}: unclassified torn crash points: {s:?}"
+        );
+        assert!(
+            s.tail_recovered + s.tail_detected > 0,
+            "{name}: no WPQ-tail scenarios ran: {s:?}"
+        );
+    }
+}
+
+#[test]
+fn sweep_is_deterministic() {
+    // Byte-identical summaries on repeated runs — the property that makes
+    // the bench artifact stable across `AMNT_JOBS` settings.
+    let cfg = FaultSweepConfig { ops: 10, ..FaultSweepConfig::default() };
+    for (name, kind) in sweep_protocols() {
+        let a = run_sweep(kind, &cfg).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let b = run_sweep(kind, &cfg).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(a, b, "{name}: sweep not deterministic");
+    }
+}
+
+#[test]
+fn strict_boundary_crashes_do_zero_recovery_work() {
+    // At clean op boundaries Strict's recovery is free; mid-op crashes may
+    // trigger the dirty-shutdown audit (reads), but never writes.
+    let cfg = FaultSweepConfig { ops: 12, ..FaultSweepConfig::default() };
+    let s = run_sweep(amnt_core::ProtocolKind::Strict, &cfg).expect("strict sweep");
+    assert_eq!(s.silent, 0);
+    assert_eq!(s.bounds_violations, 0, "strict recovery did forbidden work: {s:?}");
+}

@@ -377,9 +377,11 @@ fn substr_offsets(hay: &str, needle: &str) -> Vec<usize> {
 /// Identifiers declared (or bound) as `HashMap` in this file, paired with
 /// each offset where they are iterated. A file-scope heuristic: an ident
 /// declared `x: HashMap<..>`, `x: Option<HashMap<..>`, or
-/// `x = HashMap::new()` is tracked, and `x.iter()` / `x.keys()` /
-/// `x.values()` / `x.values_mut()` / `x.drain(` / `x.into_iter()` /
-/// `for .. in &x` anywhere in the file is flagged.
+/// `x = HashMap::new()` is tracked, bare rebinds of a tracked ident
+/// (`let p = &self.x;`, `let q = p;`) are followed to a fixed point, and
+/// `x.iter()` / `x.keys()` / `x.values()` / `x.values_mut()` /
+/// `x.drain(` / `x.into_iter()` / `for .. in &x` anywhere in the file is
+/// flagged for any tracked name.
 fn hashmap_iterations(masked: &str) -> Vec<(String, usize)> {
     let bytes = masked.as_bytes();
     let mut idents: Vec<String> = Vec::new();
@@ -416,6 +418,58 @@ fn hashmap_iterations(masked: &str) -> Vec<(String, usize)> {
                 continue;
             }
             break;
+        }
+    }
+    // Alias tracking to a fixed point: `let p = &self.map;` (or `= map;`,
+    // `= &mut map;`) rebinds a tracked map under a new name, so iterating
+    // the alias is iterating the map. Only bare-rebind RHSes count — a
+    // method call on the rhs (`map.len();`) yields something else entirely.
+    let mut next = 0;
+    while next < idents.len() {
+        let ident = idents[next].clone();
+        next += 1;
+        for at in token_offsets(masked, &ident) {
+            // The RHS must be the bare map: nothing but `;` after the name.
+            if !masked[at + ident.len()..].trim_start().starts_with(';') {
+                continue;
+            }
+            // Walk back over an optional `self.` owner and `&` / `&mut `.
+            let mut i = at;
+            if masked[..i].ends_with("self.") {
+                i -= 5;
+            }
+            if masked[..i].ends_with("&mut ") {
+                i -= 5;
+            } else if masked[..i].ends_with('&') {
+                i -= 1;
+            }
+            while i > 0 && bytes[i - 1].is_ascii_whitespace() {
+                i -= 1;
+            }
+            if i == 0 || bytes[i - 1] != b'=' {
+                continue;
+            }
+            i -= 1;
+            // `==`, `!=`, `<=`, `+=`, … are comparisons or compound
+            // assignments, not rebinds.
+            let op = b"=!<>+-*/%^|&";
+            if i > 0 && op.contains(&bytes[i - 1]) {
+                continue;
+            }
+            while i > 0 && bytes[i - 1].is_ascii_whitespace() {
+                i -= 1;
+            }
+            let end = i;
+            while i > 0 && is_ident_byte(bytes[i - 1]) {
+                i -= 1;
+            }
+            if i == end {
+                continue;
+            }
+            let name = masked[i..end].to_string();
+            if name != "mut" && !idents.contains(&name) {
+                idents.push(name);
+            }
         }
     }
     let mut hits = Vec::new();
@@ -532,6 +586,33 @@ mod tests {
         let hits = hashmap_iterations(&mask(src));
         assert_eq!(hits.len(), 1, "{hits:?}");
         assert_eq!(hits[0].0, "m");
+    }
+
+    #[test]
+    fn hashmap_alias_rebinding_is_followed() {
+        // Direct alias, alias-of-alias, and a `self.`-owned field rebind
+        // all inherit the HashMap taint; iterating any of them fires.
+        let src = "struct S { map: HashMap<u64, u8> }\n\
+                   let p = &self.map;\n\
+                   let q = p;\n\
+                   q.values();\n\
+                   p.iter();\n";
+        let hits = hashmap_iterations(&mask(src));
+        let names: Vec<&str> = hits.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["p", "q"], "{hits:?}");
+    }
+
+    #[test]
+    fn hashmap_alias_ignores_comparisons_and_calls() {
+        // `==` is a comparison, not a rebind; a method-call RHS produces a
+        // different value; neither may taint the LHS.
+        let src = "let m: HashMap<u64, u8> = HashMap::new();\n\
+                   let same = other == m;\n\
+                   let n = m.len();\n\
+                   same.iter();\n\
+                   n.iter();\n";
+        let hits = hashmap_iterations(&mask(src));
+        assert!(hits.is_empty(), "{hits:?}");
     }
 
     #[test]

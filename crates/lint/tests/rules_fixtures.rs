@@ -104,6 +104,37 @@ fn r2_flags_hashmap_iteration() {
     assert!(findings[0].message.contains("HashMap"));
 }
 
+// Tricky: the map is iterated through a rebound local, not by name.
+#[test]
+fn r2_flags_iteration_through_rebound_local() {
+    let bad = "use std::collections::HashMap;\n\
+               struct S { map: HashMap<u64, u64> }\n\
+               impl S {\n\
+               \x20   fn sum(&self) -> u64 {\n\
+               \x20       let p = &self.map;\n\
+               \x20       p.values().sum()\n\
+               \x20   }\n\
+               }\n";
+    let findings = lint_source(R2_PATH, bad);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].rule, "R2");
+    assert_eq!(findings[0].line, 6);
+    assert!(findings[0].message.contains("HashMap"));
+}
+
+#[test]
+fn r2_rebound_local_of_btreemap_stays_clean() {
+    let good = "use std::collections::BTreeMap;\n\
+                struct S { map: BTreeMap<u64, u64> }\n\
+                impl S {\n\
+                \x20   fn sum(&self) -> u64 {\n\
+                \x20       let p = &self.map;\n\
+                \x20       p.values().sum()\n\
+                \x20   }\n\
+                }\n";
+    assert!(rules_at(R2_PATH, good).is_empty());
+}
+
 #[test]
 fn r2_allows_btreemap_and_keyed_lookup() {
     let good = "use std::collections::{BTreeMap, HashMap};\n\

@@ -1,0 +1,179 @@
+//! Fault injection: power failures at device-write granularity.
+//!
+//! A [`FaultHook`] armed on an [`Nvm`](crate::Nvm) is consulted once per
+//! *device-write ordinal* — every [`write_bytes`](crate::Nvm::write_bytes)
+//! call, except that writes inside an atomic group (see
+//! [`begin_atomic`](crate::Nvm::begin_atomic)) share one ordinal — and
+//! decides whether the write applies, tears, or is the one the power failure
+//! lands on. Once the hook cuts power, every subsequent access fails with
+//! [`NvmError::PowerFailure`](crate::NvmError::PowerFailure) until
+//! [`crate::Nvm::crash`] power-cycles the device; the fail-stop behaviour
+//! guarantees a crashed operation cannot silently keep mutating the media.
+//!
+//! [`FaultPlan`] is the deterministic standard hook: crash after the *k*-th
+//! device write (cleanly or tearing the in-flight line), and/or drop the
+//! last *n* journaled writes — the write-pending-queue tail — at the crash
+//! itself. Determinism contract: a `FaultPlan`'s decisions depend only on
+//! the write ordinal, never on addresses, contents, or host state, so the
+//! same workload replayed against the same plan crashes at the same point
+//! with byte-identical media.
+
+use std::fmt;
+
+/// Which half of a 64-byte line survives a torn write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TornHalf {
+    /// The first 32 bytes of each touched line persist; the rest keeps its
+    /// previous contents.
+    First,
+    /// The last 32 bytes of each touched line persist.
+    Last,
+}
+
+/// What the device should do with one device write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Apply the write normally.
+    Apply,
+    /// Apply only the surviving half of each touched 64-byte line, then cut
+    /// power (the write itself reports a power failure).
+    Torn(TornHalf),
+    /// Cut power before the write applies; nothing persists.
+    PowerOff,
+}
+
+/// Faults applied at crash time (power actually failing).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CrashFaults {
+    /// How many journaled device writes — the write-pending-queue tail — to
+    /// undo, newest first. `0` models a healthy ADR domain.
+    pub drop_wpq_tail: usize,
+}
+
+/// A per-write fault decision source, armed on an [`Nvm`](crate::Nvm).
+///
+/// `seq` is the zero-based device-write ordinal since arming (an atomic
+/// group consumes a single ordinal). Implementations must be deterministic
+/// functions of their own state and `seq`/`addr`/`len`.
+pub trait FaultHook: fmt::Debug + Send {
+    /// Decides the fate of the write with ordinal `seq` at `addr`.
+    fn on_write(&mut self, seq: u64, addr: u64, len: usize) -> FaultAction;
+
+    /// Faults to apply when the device actually crashes.
+    fn crash_faults(&mut self) -> CrashFaults {
+        CrashFaults::default()
+    }
+
+    /// Clones the hook behind its box (keeps `Nvm: Clone`).
+    fn box_clone(&self) -> Box<dyn FaultHook>;
+}
+
+impl Clone for Box<dyn FaultHook> {
+    fn clone(&self) -> Self {
+        self.box_clone()
+    }
+}
+
+/// How the write at the crash ordinal is treated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashWriteMode {
+    /// The in-flight write is wholly lost.
+    Clean,
+    /// The in-flight write tears: the given half of each touched line lands.
+    Torn(TornHalf),
+}
+
+/// The standard deterministic fault plan (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Crash ordinal: the first `crash_after` device writes apply, then the
+    /// next one is where power fails (per `mode`). `None` never cuts power —
+    /// useful for counting ordinals and for pure WPQ-tail-drop crashes.
+    pub crash_after: Option<u64>,
+    /// Fate of the write at the crash ordinal.
+    pub mode: CrashWriteMode,
+    /// WPQ tail to drop when [`crate::Nvm::crash`] runs.
+    pub drop_wpq_tail: usize,
+}
+
+impl FaultPlan {
+    /// Never faults; just counts device-write ordinals.
+    pub fn count_only() -> Self {
+        FaultPlan { crash_after: None, mode: CrashWriteMode::Clean, drop_wpq_tail: 0 }
+    }
+
+    /// Power fails cleanly after `k` device writes (the `k+1`-th is lost).
+    pub fn crash_after(k: u64) -> Self {
+        FaultPlan { crash_after: Some(k), mode: CrashWriteMode::Clean, drop_wpq_tail: 0 }
+    }
+
+    /// Power fails after `k` device writes, tearing the `k+1`-th so only
+    /// `half` of each touched 64-byte line lands.
+    pub fn torn_after(k: u64, half: TornHalf) -> Self {
+        FaultPlan { crash_after: Some(k), mode: CrashWriteMode::Torn(half), drop_wpq_tail: 0 }
+    }
+
+    /// Never cuts power mid-write, but drops the last `n` journaled writes
+    /// when the crash comes (an ADR/flush failure).
+    pub fn drop_tail(n: usize) -> Self {
+        FaultPlan { crash_after: None, mode: CrashWriteMode::Clean, drop_wpq_tail: n }
+    }
+}
+
+impl FaultHook for FaultPlan {
+    fn on_write(&mut self, seq: u64, _addr: u64, _len: usize) -> FaultAction {
+        match self.crash_after {
+            Some(k) if seq > k => FaultAction::PowerOff,
+            Some(k) if seq == k => match self.mode {
+                CrashWriteMode::Clean => FaultAction::PowerOff,
+                CrashWriteMode::Torn(half) => FaultAction::Torn(half),
+            },
+            _ => FaultAction::Apply,
+        }
+    }
+
+    fn crash_faults(&mut self) -> CrashFaults {
+        CrashFaults { drop_wpq_tail: self.drop_wpq_tail }
+    }
+
+    fn box_clone(&self) -> Box<dyn FaultHook> {
+        Box::new(*self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_is_a_pure_function_of_the_ordinal() {
+        let mut p = FaultPlan::crash_after(2);
+        assert_eq!(p.on_write(0, 0x40, 64), FaultAction::Apply);
+        assert_eq!(p.on_write(1, 0x999, 8), FaultAction::Apply);
+        assert_eq!(p.on_write(2, 0, 64), FaultAction::PowerOff);
+        assert_eq!(p.on_write(3, 0, 64), FaultAction::PowerOff);
+    }
+
+    #[test]
+    fn torn_plan_tears_exactly_the_crash_ordinal() {
+        let mut p = FaultPlan::torn_after(1, TornHalf::Last);
+        assert_eq!(p.on_write(0, 0, 64), FaultAction::Apply);
+        assert_eq!(p.on_write(1, 0, 64), FaultAction::Torn(TornHalf::Last));
+    }
+
+    #[test]
+    fn count_only_never_faults() {
+        let mut p = FaultPlan::count_only();
+        for seq in 0..1000 {
+            assert_eq!(p.on_write(seq, seq * 64, 64), FaultAction::Apply);
+        }
+        assert_eq!(p.crash_faults(), CrashFaults::default());
+    }
+
+    #[test]
+    fn drop_tail_reports_its_crash_faults() {
+        let mut p = FaultPlan::drop_tail(3);
+        assert_eq!(p.on_write(0, 0, 64), FaultAction::Apply);
+        assert_eq!(p.crash_faults(), CrashFaults { drop_wpq_tail: 3 });
+    }
+}

@@ -24,10 +24,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 
+mod fault;
 mod start_gap;
+pub use fault::{CrashFaults, CrashWriteMode, FaultAction, FaultHook, FaultPlan, TornHalf};
 pub use start_gap::StartGap;
 
 /// Size of a memory block (cache line) in bytes.
@@ -98,6 +100,14 @@ pub enum NvmError {
         /// Requested address.
         addr: u64,
     },
+    /// Power failed at (or before) this access: an armed [`FaultHook`] cut
+    /// power, and the device fail-stops until [`Nvm::crash`] power-cycles
+    /// it. Surfacing the failure on every access guarantees an interrupted
+    /// operation cannot silently keep mutating the media.
+    PowerFailure {
+        /// Address of the access the failure surfaced on.
+        addr: u64,
+    },
 }
 
 impl fmt::Display for NvmError {
@@ -109,6 +119,9 @@ impl fmt::Display for NvmError {
             ),
             NvmError::Misaligned { addr } => {
                 write!(f, "block access at {addr:#x} is not 64-byte aligned")
+            }
+            NvmError::PowerFailure { addr } => {
+                write!(f, "power failed during the access at {addr:#x}")
             }
         }
     }
@@ -139,12 +152,50 @@ pub struct Nvm {
     stats: NvmStats,
     /// Bumped on every crash; lets tests assert they really crossed one.
     generation: u64,
+    /// Armed fault hook, consulted once per device-write ordinal.
+    fault: Option<Box<dyn FaultHook>>,
+    /// Device-write ordinals consumed since the hook was armed.
+    fault_seq: u64,
+    /// Set once an armed hook cuts power: every access fails until
+    /// [`Nvm::crash`] power-cycles the device.
+    powered_off: bool,
+    /// Nesting depth of [`Nvm::begin_atomic`] groups.
+    group_depth: u32,
+    /// Whether the current atomic group already consumed its ordinal.
+    group_charged: bool,
+    /// Pre-images journaled for the currently open atomic group.
+    open_group: Vec<(u64, Vec<u8>)>,
+    /// Bounded undo journal of recent writes (newest at the back), one entry
+    /// per device-write ordinal — the modelled write-pending queue. Only
+    /// populated while a fault hook is armed.
+    journal: VecDeque<Vec<(u64, Vec<u8>)>>,
+    /// Whether the last crash interrupted in-flight work (a power failure
+    /// surfaced mid-write, or the WPQ tail was dropped) — the NVDIMM-style
+    /// "dirty shutdown" flag recovery consults.
+    dirty_shutdown: bool,
 }
+
+/// Modelled write-pending-queue depth: the undo journal keeps at most this
+/// many device-write ordinals; older writes have drained to the media.
+const JOURNAL_DEPTH: usize = 128;
 
 impl Nvm {
     /// Creates a device; all bytes read as zero until written.
     pub fn new(config: NvmConfig) -> Self {
-        Nvm { config, frames: HashMap::new(), stats: NvmStats::default(), generation: 0 }
+        Nvm {
+            config,
+            frames: HashMap::new(),
+            stats: NvmStats::default(),
+            generation: 0,
+            fault: None,
+            fault_seq: 0,
+            powered_off: false,
+            group_depth: 0,
+            group_charged: false,
+            open_group: Vec::new(),
+            journal: VecDeque::new(),
+            dirty_shutdown: false,
+        }
     }
 
     /// The device configuration.
@@ -171,8 +222,178 @@ impl Nvm {
     ///
     /// Volatile state (caches, on-chip volatile registers) is owned by the
     /// layers above and must be cleared by them.
+    ///
+    /// If a [`FaultHook`] is armed it is consumed here: its
+    /// [`FaultHook::crash_faults`] may drop the journaled write-pending-queue
+    /// tail (newest writes undone first), and the device then power-cycles —
+    /// fault state clears and accesses work again. The dirty-shutdown flag
+    /// records whether this crash interrupted in-flight work (see
+    /// [`Nvm::dirty_shutdown`]).
     pub fn crash(&mut self) {
+        let mut dropped = 0usize;
+        if let Some(mut hook) = self.fault.take() {
+            let faults = hook.crash_faults();
+            // A torn or rejected write already landed its partial effects;
+            // the open-group journal (if an atomic group was cut short) and
+            // the committed journal both hold undo candidates. The open
+            // group is newest, so it is undone first.
+            if faults.drop_wpq_tail > 0 && !self.open_group.is_empty() {
+                let group = std::mem::take(&mut self.open_group);
+                self.undo_group(group);
+                dropped += 1;
+            }
+            while dropped < faults.drop_wpq_tail {
+                match self.journal.pop_back() {
+                    Some(group) => {
+                        self.undo_group(group);
+                        dropped += 1;
+                    }
+                    None => break,
+                }
+            }
+        }
+        self.dirty_shutdown = self.powered_off || dropped > 0;
+        self.journal.clear();
+        self.open_group.clear();
+        self.group_depth = 0;
+        self.group_charged = false;
+        self.powered_off = false;
+        self.fault_seq = 0;
         self.generation += 1;
+    }
+
+    /// Undoes one journaled ordinal: restores pre-images newest-first.
+    fn undo_group(&mut self, group: Vec<(u64, Vec<u8>)>) {
+        for (addr, pre) in group.into_iter().rev() {
+            self.poke(addr, &pre);
+        }
+    }
+
+    /// Whether the last [`Nvm::crash`] interrupted in-flight work: a power
+    /// failure surfaced mid-write, or part of the write-pending queue was
+    /// lost. Mirrors the NVDIMM dirty-shutdown count; recovery uses it to
+    /// decide whether the ordered-write-through invariants may have been
+    /// violated mid-operation.
+    pub fn dirty_shutdown(&self) -> bool {
+        self.dirty_shutdown
+    }
+
+    // ------------------------------------------------------------------
+    // Fault hook plumbing
+    // ------------------------------------------------------------------
+
+    /// Arms `hook`: from now on every device-write ordinal consults it and
+    /// recent writes are journaled for WPQ-tail drops. Resets the ordinal
+    /// counter. The hook stays armed until [`Nvm::crash`] consumes it (or
+    /// [`Nvm::disarm_fault_hook`] removes it).
+    pub fn arm_fault_hook(&mut self, hook: Box<dyn FaultHook>) {
+        self.fault = Some(hook);
+        self.fault_seq = 0;
+        self.powered_off = false;
+    }
+
+    /// Removes the armed hook, if any, without a power cycle.
+    pub fn disarm_fault_hook(&mut self) -> Option<Box<dyn FaultHook>> {
+        let hook = self.fault.take();
+        self.powered_off = false;
+        self.journal.clear();
+        self.open_group.clear();
+        self.group_charged = false;
+        hook
+    }
+
+    /// Whether a fault hook is currently armed.
+    pub fn fault_armed(&self) -> bool {
+        self.fault.is_some()
+    }
+
+    /// Whether an armed hook has cut power (accesses currently fail).
+    pub fn powered_off(&self) -> bool {
+        self.powered_off
+    }
+
+    /// Device-write ordinals consumed since the hook was armed (an atomic
+    /// group counts once). The crash-point coordinate system of
+    /// [`FaultPlan`].
+    pub fn device_write_ordinals(&self) -> u64 {
+        self.fault_seq
+    }
+
+    /// Opens an atomic write group: until the matching [`Nvm::end_atomic`],
+    /// all writes share one device-write ordinal — they persist or fail as
+    /// a unit (a hardware write transaction, e.g. page re-encryption). A
+    /// torn fault at the group's ordinal degrades to a clean power-off:
+    /// atomic groups never tear. Groups nest; only the outermost brackets.
+    pub fn begin_atomic(&mut self) {
+        self.group_depth += 1;
+    }
+
+    /// Closes an atomic write group (see [`Nvm::begin_atomic`]).
+    pub fn end_atomic(&mut self) {
+        self.group_depth = self.group_depth.saturating_sub(1);
+        if self.group_depth == 0 {
+            self.group_charged = false;
+            if !self.open_group.is_empty() {
+                let group = std::mem::take(&mut self.open_group);
+                self.journal_push(group);
+            }
+        }
+    }
+
+    /// Appends one undo entry, bounding the journal to the WPQ depth.
+    fn journal_push(&mut self, group: Vec<(u64, Vec<u8>)>) {
+        self.journal.push_back(group);
+        if self.journal.len() > JOURNAL_DEPTH {
+            // The oldest write has drained out of the WPQ to the media.
+            self.journal.pop_front();
+        }
+    }
+
+    /// Records the pre-image of an imminent write while a hook is armed.
+    fn journal_record(&mut self, addr: u64, len: usize) {
+        let mut pre = vec![0u8; len];
+        self.peek(addr, &mut pre);
+        if self.group_depth > 0 {
+            self.open_group.push((addr, pre));
+        } else {
+            self.journal_push(vec![(addr, pre)]);
+        }
+    }
+
+    /// Raw media read: no stats, no fault interaction (internal/test use).
+    fn peek(&self, addr: u64, buf: &mut [u8]) {
+        let mut cursor = addr;
+        let mut remaining = buf;
+        while !remaining.is_empty() {
+            let frame_base = cursor / FRAME_SIZE as u64;
+            let offset = (cursor % FRAME_SIZE as u64) as usize;
+            let take = remaining.len().min(FRAME_SIZE - offset);
+            let (head, tail) = remaining.split_at_mut(take);
+            match self.frames.get(&frame_base) {
+                Some(frame) => head.copy_from_slice(&frame[offset..offset + take]),
+                None => head.fill(0),
+            }
+            remaining = tail;
+            cursor += take as u64;
+        }
+    }
+
+    /// Raw media write: no stats, no fault interaction (internal/test use).
+    fn poke(&mut self, addr: u64, data: &[u8]) {
+        let mut cursor = addr;
+        let mut remaining = data;
+        while !remaining.is_empty() {
+            let frame_base = cursor / FRAME_SIZE as u64;
+            let offset = (cursor % FRAME_SIZE as u64) as usize;
+            let take = remaining.len().min(FRAME_SIZE - offset);
+            let frame = self
+                .frames
+                .entry(frame_base)
+                .or_insert_with(|| Box::new([0u8; FRAME_SIZE]));
+            frame[offset..offset + take].copy_from_slice(&remaining[..take]);
+            remaining = &remaining[take..];
+            cursor += take as u64;
+        }
     }
 
     fn check(&self, addr: u64, len: usize) -> Result<(), NvmError> {
@@ -190,25 +411,16 @@ impl Nvm {
     ///
     /// # Errors
     ///
-    /// [`NvmError::OutOfBounds`] if the range exceeds the device.
+    /// [`NvmError::OutOfBounds`] if the range exceeds the device, or
+    /// [`NvmError::PowerFailure`] once an armed fault hook has cut power.
     pub fn read_bytes(&mut self, addr: u64, buf: &mut [u8]) -> Result<(), NvmError> {
         self.check(addr, buf.len())?;
+        if self.powered_off {
+            return Err(NvmError::PowerFailure { addr });
+        }
         self.stats.reads += 1;
         self.stats.bytes_read += buf.len() as u64;
-        let mut cursor = addr;
-        let mut remaining = buf;
-        while !remaining.is_empty() {
-            let frame_base = cursor / FRAME_SIZE as u64;
-            let offset = (cursor % FRAME_SIZE as u64) as usize;
-            let take = remaining.len().min(FRAME_SIZE - offset);
-            let (head, tail) = remaining.split_at_mut(take);
-            match self.frames.get(&frame_base) {
-                Some(frame) => head.copy_from_slice(&frame[offset..offset + take]),
-                None => head.fill(0),
-            }
-            remaining = tail;
-            cursor += take as u64;
-        }
+        self.peek(addr, buf);
         Ok(())
     }
 
@@ -218,25 +430,67 @@ impl Nvm {
     ///
     /// # Errors
     ///
-    /// [`NvmError::OutOfBounds`] if the range exceeds the device.
+    /// [`NvmError::OutOfBounds`] if the range exceeds the device, or
+    /// [`NvmError::PowerFailure`] when an armed fault hook cuts power at (or
+    /// before) this write.
     pub fn write_bytes(&mut self, addr: u64, data: &[u8]) -> Result<(), NvmError> {
         self.check(addr, data.len())?;
+        if self.fault.is_some() {
+            if self.powered_off {
+                return Err(NvmError::PowerFailure { addr });
+            }
+            // Inside an atomic group only the first write consults the hook;
+            // the rest of the group rides on the same ordinal.
+            let action = if self.group_depth > 0 && self.group_charged {
+                FaultAction::Apply
+            } else {
+                let seq = self.fault_seq;
+                self.fault_seq += 1;
+                if self.group_depth > 0 {
+                    self.group_charged = true;
+                }
+                match self.fault.as_mut() {
+                    Some(hook) => hook.on_write(seq, addr, data.len()),
+                    None => FaultAction::Apply,
+                }
+            };
+            match action {
+                FaultAction::Apply => self.journal_record(addr, data.len()),
+                FaultAction::PowerOff => {
+                    self.powered_off = true;
+                    return Err(NvmError::PowerFailure { addr });
+                }
+                FaultAction::Torn(half) => {
+                    if self.group_depth > 0 {
+                        // Atomic groups never tear: the transaction aborts
+                        // wholesale before any byte lands.
+                        self.powered_off = true;
+                        return Err(NvmError::PowerFailure { addr });
+                    }
+                    self.journal_record(addr, data.len());
+                    let mut merged = vec![0u8; data.len()];
+                    self.peek(addr, &mut merged);
+                    for (i, b) in data.iter().enumerate() {
+                        let line_off = ((addr + i as u64) % BLOCK_SIZE as u64) as usize;
+                        let survives = match half {
+                            TornHalf::First => line_off < BLOCK_SIZE / 2,
+                            TornHalf::Last => line_off >= BLOCK_SIZE / 2,
+                        };
+                        if survives {
+                            merged[i] = *b;
+                        }
+                    }
+                    self.stats.writes += 1;
+                    self.stats.bytes_written += data.len() as u64;
+                    self.poke(addr, &merged);
+                    self.powered_off = true;
+                    return Err(NvmError::PowerFailure { addr });
+                }
+            }
+        }
         self.stats.writes += 1;
         self.stats.bytes_written += data.len() as u64;
-        let mut cursor = addr;
-        let mut remaining = data;
-        while !remaining.is_empty() {
-            let frame_base = cursor / FRAME_SIZE as u64;
-            let offset = (cursor % FRAME_SIZE as u64) as usize;
-            let take = remaining.len().min(FRAME_SIZE - offset);
-            let frame = self
-                .frames
-                .entry(frame_base)
-                .or_insert_with(|| Box::new([0u8; FRAME_SIZE]));
-            frame[offset..offset + take].copy_from_slice(&remaining[..take]);
-            remaining = &remaining[take..];
-            cursor += take as u64;
-        }
+        self.poke(addr, data);
         Ok(())
     }
 
@@ -297,15 +551,12 @@ impl Nvm {
     /// Panics if `addr` is outside the device.
     pub fn tamper_flip_bit(&mut self, addr: u64, bit: u8) {
         assert!(addr < self.config.capacity_bytes, "tamper address out of range");
+        // Raw media access: attacks are not device traffic and never
+        // interact with an armed fault hook or the undo journal.
         let mut byte = [0u8];
-        self.read_bytes(addr, &mut byte).expect("in range");
+        self.peek(addr, &mut byte);
         byte[0] ^= 1 << (bit % 8);
-        self.write_bytes(addr, &byte).expect("in range");
-        // Attacks are not device traffic.
-        self.stats.reads -= 1;
-        self.stats.writes -= 1;
-        self.stats.bytes_read -= 1;
-        self.stats.bytes_written -= 1;
+        self.poke(addr, &byte);
     }
 
     /// Number of 4 KiB frames currently backed (touched).
@@ -411,6 +662,137 @@ mod tests {
         let mut nvm = Nvm::new(NvmConfig::gib(1));
         nvm.write_u64(0x123, 0xdead_beef_cafe_f00d).unwrap();
         assert_eq!(nvm.read_u64(0x123).unwrap(), 0xdead_beef_cafe_f00d);
+    }
+
+    #[test]
+    fn crash_after_k_fail_stops_until_power_cycle() {
+        let mut nvm = Nvm::new(NvmConfig::gib(1));
+        nvm.arm_fault_hook(Box::new(FaultPlan::crash_after(2)));
+        nvm.write_block(0, &[1; 64]).unwrap();
+        nvm.write_block(64, &[2; 64]).unwrap();
+        // The third write is where power fails: nothing lands.
+        assert_eq!(
+            nvm.write_block(128, &[3; 64]),
+            Err(NvmError::PowerFailure { addr: 128 })
+        );
+        assert!(nvm.powered_off());
+        // Fail-stop: reads and further writes also fail.
+        assert!(matches!(nvm.read_block(0), Err(NvmError::PowerFailure { .. })));
+        assert!(nvm.write_block(192, &[4; 64]).is_err());
+        nvm.crash();
+        assert!(nvm.dirty_shutdown());
+        assert!(!nvm.fault_armed());
+        // Power restored; the surviving prefix is intact, the cut write is not.
+        assert_eq!(nvm.read_block(0).unwrap(), [1; 64]);
+        assert_eq!(nvm.read_block(64).unwrap(), [2; 64]);
+        assert_eq!(nvm.read_block(128).unwrap(), [0; 64]);
+        // A later clean crash clears the dirty-shutdown flag.
+        nvm.crash();
+        assert!(!nvm.dirty_shutdown());
+    }
+
+    #[test]
+    fn torn_write_persists_exactly_one_half_per_line() {
+        for (half, lo, hi) in [(TornHalf::First, 0xAB, 0x00), (TornHalf::Last, 0x00, 0xAB)] {
+            let mut nvm = Nvm::new(NvmConfig::gib(1));
+            nvm.arm_fault_hook(Box::new(FaultPlan::torn_after(0, half)));
+            assert!(nvm.write_block(64, &[0xAB; 64]).is_err());
+            nvm.crash();
+            let block = nvm.read_block(64).unwrap();
+            assert!(block[..32].iter().all(|&b| b == lo), "{half:?}: {block:?}");
+            assert!(block[32..].iter().all(|&b| b == hi), "{half:?}: {block:?}");
+        }
+    }
+
+    #[test]
+    fn torn_write_tears_every_overlapped_line_of_a_span() {
+        let mut nvm = Nvm::new(NvmConfig::gib(1));
+        nvm.arm_fault_hook(Box::new(FaultPlan::torn_after(0, TornHalf::First)));
+        // A 128-byte span covering two whole lines: each line keeps only its
+        // own first half.
+        assert!(nvm.write_bytes(0, &[0xCD; 128]).is_err());
+        nvm.crash();
+        for line in 0..2u64 {
+            let block = nvm.read_block(line * 64).unwrap();
+            assert!(block[..32].iter().all(|&b| b == 0xCD));
+            assert!(block[32..].iter().all(|&b| b == 0));
+        }
+    }
+
+    #[test]
+    fn dropped_wpq_tail_undoes_the_newest_writes() {
+        let mut nvm = Nvm::new(NvmConfig::gib(1));
+        nvm.write_block(0, &[1; 64]).unwrap();
+        nvm.arm_fault_hook(Box::new(FaultPlan::drop_tail(2)));
+        nvm.write_block(0, &[2; 64]).unwrap();
+        nvm.write_block(64, &[3; 64]).unwrap();
+        nvm.write_block(128, &[4; 64]).unwrap();
+        nvm.crash();
+        assert!(nvm.dirty_shutdown());
+        // The two newest writes rolled back; the oldest survived.
+        assert_eq!(nvm.read_block(0).unwrap(), [2; 64]);
+        assert_eq!(nvm.read_block(64).unwrap(), [0; 64]);
+        assert_eq!(nvm.read_block(128).unwrap(), [0; 64]);
+    }
+
+    #[test]
+    fn atomic_group_consumes_one_ordinal_and_never_tears() {
+        // All-or-nothing under a clean crash at the group's ordinal.
+        let mut nvm = Nvm::new(NvmConfig::gib(1));
+        nvm.arm_fault_hook(Box::new(FaultPlan::crash_after(1)));
+        nvm.write_block(0, &[1; 64]).unwrap(); // ordinal 0
+        nvm.begin_atomic(); // ordinal 1: the crash ordinal
+        let r1 = nvm.write_block(64, &[2; 64]);
+        let r2 = nvm.write_block(128, &[3; 64]);
+        nvm.end_atomic();
+        assert!(r1.is_err() && r2.is_err());
+        nvm.crash();
+        assert_eq!(nvm.read_block(64).unwrap(), [0; 64]);
+        assert_eq!(nvm.read_block(128).unwrap(), [0; 64]);
+
+        // Past the crash ordinal the whole group lands and counts once.
+        let mut nvm = Nvm::new(NvmConfig::gib(1));
+        nvm.arm_fault_hook(Box::new(FaultPlan::count_only()));
+        nvm.begin_atomic();
+        nvm.write_block(0, &[7; 64]).unwrap();
+        nvm.write_block(64, &[8; 64]).unwrap();
+        nvm.end_atomic();
+        assert_eq!(nvm.device_write_ordinals(), 1);
+
+        // A torn fault at the group ordinal degrades to clean power-off.
+        let mut nvm = Nvm::new(NvmConfig::gib(1));
+        nvm.arm_fault_hook(Box::new(FaultPlan::torn_after(0, TornHalf::First)));
+        nvm.begin_atomic();
+        assert!(nvm.write_block(0, &[9; 64]).is_err());
+        nvm.end_atomic();
+        nvm.crash();
+        assert_eq!(nvm.read_block(0).unwrap(), [0; 64]);
+    }
+
+    #[test]
+    fn wpq_tail_drop_undoes_an_atomic_group_as_a_unit() {
+        let mut nvm = Nvm::new(NvmConfig::gib(1));
+        nvm.arm_fault_hook(Box::new(FaultPlan::drop_tail(1)));
+        nvm.write_block(0, &[1; 64]).unwrap();
+        nvm.begin_atomic();
+        nvm.write_block(64, &[2; 64]).unwrap();
+        nvm.write_block(128, &[3; 64]).unwrap();
+        nvm.end_atomic();
+        nvm.crash();
+        // Dropping one ordinal removed the whole group, not half of it.
+        assert_eq!(nvm.read_block(0).unwrap(), [1; 64]);
+        assert_eq!(nvm.read_block(64).unwrap(), [0; 64]);
+        assert_eq!(nvm.read_block(128).unwrap(), [0; 64]);
+    }
+
+    #[test]
+    fn tamper_ignores_fault_state() {
+        let mut nvm = Nvm::new(NvmConfig::gib(1));
+        nvm.arm_fault_hook(Box::new(FaultPlan::count_only()));
+        nvm.tamper_flip_bit(5, 0);
+        assert_eq!(nvm.device_write_ordinals(), 0, "attacks consume no ordinals");
+        nvm.disarm_fault_hook();
+        assert_eq!(nvm.read_block(0).unwrap()[5], 1);
     }
 }
 

@@ -29,6 +29,13 @@ cargo build --release --workspace || fail=1
 echo "== cargo test --workspace =="
 cargo test -q --workspace || fail=1
 
+echo "== fault sweep (crash-point exploration smoke) =="
+# Bounded smoke by default; the sweep is exhaustive in crash points at any
+# size, so silent/boundary_deficit must be zero regardless of AMNT_FAULT_OPS.
+# Run the full acceptance sweep with AMNT_FAULT_OPS=100 (or larger).
+AMNT_FAULT_OPS="${AMNT_FAULT_OPS:-24}" \
+    cargo run --release -p amnt-bench --bin fault_sweep || fail=1
+
 echo "== perfgate (results/*.json vs EXPERIMENTS.md reference rows) =="
 cargo run --release -p amnt-bench --bin perfgate || fail=1
 
