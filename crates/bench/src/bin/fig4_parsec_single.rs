@@ -7,7 +7,10 @@
 //! independent seeded simulation, so the whole figure fans out across host
 //! cores (`AMNT_JOBS`) with byte-identical output at any worker count.
 
-use amnt_bench::{figure_protocols, print_table, run_length, ExperimentResult, Grid, HostTimer};
+use amnt_bench::{
+    figure_protocols, print_table, run_length, save_trace_artifacts, with_env_trace,
+    ExperimentResult, Grid, HostTimer,
+};
 use amnt_core::{AmntConfig, ProtocolKind};
 use amnt_sim::{run_single, with_amnt_plus, MachineConfig, SimReport};
 use amnt_workloads::parsec;
@@ -17,7 +20,7 @@ fn main() {
     let len = run_length();
     let mut grid: Grid<SimReport> = Grid::new();
     for model in parsec() {
-        let cfg = MachineConfig::parsec_single();
+        let cfg = with_env_trace(MachineConfig::parsec_single());
         {
             let cfg = cfg.clone();
             grid.add(model.name, "volatile", move || {
@@ -56,6 +59,9 @@ fn main() {
     println!("canneal under Anubis ≈ 2.4x, under AMNT < 1.001x.");
     result.set_host(&timer, results.workers);
     let path = result.save().expect("save results");
+    for p in save_trace_artifacts("fig4", &results).expect("save trace sidecars") {
+        println!("saved {}", p.display());
+    }
     println!(
         "saved {} ({:.1}s host wall-clock at {} jobs)",
         path.display(),

@@ -5,7 +5,10 @@
 //! adds the modified OS allocator (aged machine, biased free lists). All
 //! (pair × protocol) cells execute in parallel through the grid executor.
 
-use amnt_bench::{compare, figure_protocols, print_table, run_length, ExperimentResult, Grid, HostTimer};
+use amnt_bench::{
+    compare, figure_protocols, print_table, run_length, save_trace_artifacts, with_env_trace,
+    ExperimentResult, Grid, HostTimer,
+};
 use amnt_core::{AmntConfig, ProtocolKind};
 use amnt_sim::{run_pair, with_amnt_plus, MachineConfig, SimReport};
 use amnt_workloads::{multiprogram_pairs, WorkloadModel};
@@ -18,7 +21,7 @@ fn main() {
         let label = format!("{a}+{b}");
         let ma = WorkloadModel::by_name(a).expect("catalogued");
         let mb = WorkloadModel::by_name(b).expect("catalogued");
-        let cfg = MachineConfig::parsec_multi();
+        let cfg = with_env_trace(MachineConfig::parsec_multi());
         {
             let cfg = cfg.clone();
             grid.add(label.clone(), "volatile", move || {
@@ -59,4 +62,7 @@ fn main() {
     result.set_host(&timer, results.workers);
     let path = result.save().expect("save results");
     println!("saved {}", path.display());
+    for p in save_trace_artifacts("fig5", &results).expect("save trace sidecars") {
+        println!("saved {}", p.display());
+    }
 }

@@ -9,7 +9,10 @@
 //! read-intensive cactuBSSN/mcf are insensitive for AMNT but not for
 //! Anubis/BMF.
 
-use amnt_bench::{compare, figure_protocols, gmean, print_table, run_length, ExperimentResult, Grid, HostTimer};
+use amnt_bench::{
+    compare, figure_protocols, gmean, print_table, run_length, save_trace_artifacts,
+    with_env_trace, ExperimentResult, Grid, HostTimer,
+};
 use amnt_core::ProtocolKind;
 use amnt_sim::{run_multithread, MachineConfig, SimReport};
 use amnt_workloads::spec2017;
@@ -19,7 +22,7 @@ fn main() {
     let len = run_length();
     let mut grid: Grid<SimReport> = Grid::new();
     for model in spec2017() {
-        let cfg = MachineConfig::spec_multithread();
+        let cfg = with_env_trace(MachineConfig::spec_multithread());
         {
             let cfg = cfg.clone();
             grid.add(model.name, "volatile", move || {
@@ -71,4 +74,7 @@ fn main() {
     result.set_host(&timer, results.workers);
     let path = result.save().expect("save results");
     println!("saved {}", path.display());
+    for p in save_trace_artifacts("fig8", &results).expect("save trace sidecars") {
+        println!("saved {}", p.display());
+    }
 }

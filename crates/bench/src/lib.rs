@@ -13,7 +13,9 @@
 //!
 //! Environment knobs: `AMNT_ACCESSES` (per-core measured accesses),
 //! `AMNT_WARMUP`, `AMNT_SEED`, and `AMNT_JOBS` (parallel executor worker
-//! count; default: available parallelism — see [`exec`]).
+//! count; default: available parallelism — see [`exec`]), plus
+//! `AMNT_TRACE=1` to emit `*.trace.json` / `*.perfetto.json` sidecars
+//! (see [`trace_out`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -21,8 +23,10 @@
 pub mod exec;
 pub mod grid;
 pub mod sweep;
+pub mod trace_out;
 
 pub use grid::{Grid, GridCell, GridResults};
+pub use trace_out::{save_trace_artifacts, trace_config, with_env_trace};
 
 use amnt_core::{AmntConfig, AnubisConfig, BmfConfig, ProtocolKind};
 use amnt_sim::{RunLength, SimReport};

@@ -160,6 +160,11 @@ pub struct SetAssocCache {
     set_mask: u64,
     clock: u64,
     stats: CacheStats,
+    /// Observability sink (disabled by default; one branch per access when
+    /// off). Counts hits/misses/evictions for the trace layer independently
+    /// of [`CacheStats`], so trace epochs can reset it without disturbing
+    /// the statistics the artifacts are built from.
+    trace: amnt_trace::CompTrace,
 }
 
 impl SetAssocCache {
@@ -195,6 +200,7 @@ impl SetAssocCache {
             set_mask: (sets - 1) as u64,
             clock: 0,
             stats: CacheStats::default(),
+            trace: amnt_trace::CompTrace::default(),
         })
     }
 
@@ -234,10 +240,16 @@ impl SetAssocCache {
                     line.dirty = true;
                 }
                 self.stats.record(is_write, true);
+                if self.trace.enabled() {
+                    self.trace.bump("hits");
+                }
                 return Access { hit: true };
             }
         }
         self.stats.record(is_write, false);
+        if self.trace.enabled() {
+            self.trace.bump("misses");
+        }
         Access { hit: false }
     }
 
@@ -288,6 +300,12 @@ impl SetAssocCache {
             self.stats.evictions += 1;
             if victim.dirty {
                 self.stats.dirty_evictions += 1;
+            }
+            if self.trace.enabled() {
+                self.trace.bump("evictions");
+                if victim.dirty {
+                    self.trace.bump("dirty_evictions");
+                }
             }
             Some(Eviction { addr: victim.tag << self.set_shift, dirty: victim.dirty })
         } else {
@@ -401,6 +419,24 @@ impl SetAssocCache {
     /// Resets statistics (not contents); used at region-of-interest starts.
     pub fn reset_stats(&mut self) {
         self.stats = CacheStats::default();
+    }
+
+    /// The trace-layer counter sink (hits/misses/evictions). Disabled by
+    /// default; counts independently of [`CacheStats`] so trace epochs can
+    /// reset it without disturbing the artifact-visible statistics.
+    pub fn trace(&self) -> &amnt_trace::CompTrace {
+        &self.trace
+    }
+
+    /// Enables or disables trace-layer counting for this cache.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.trace.set_enabled(on);
+    }
+
+    /// Clears trace-layer counters (keeps the enabled flag); used when the
+    /// tracer resets at region-of-interest starts.
+    pub fn reset_trace(&mut self) {
+        self.trace.reset();
     }
 }
 

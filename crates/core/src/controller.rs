@@ -71,6 +71,17 @@ pub struct SecureMemory {
     aux_base: u64,
     stats: ControllerStats,
     crashed: bool,
+    /// Cycle-domain tracer (disabled by default; see
+    /// [`SecureMemory::enable_tracing`]). Trace state never feeds back into
+    /// `stats`, the caches, or the timeline, so traced and untraced runs
+    /// produce identical artifacts.
+    tracer: amnt_trace::Tracer,
+    /// Statistics at the last emitted epoch boundary; epoch rows carry the
+    /// deltas since this snapshot, so rows sum to the final snapshot.
+    trace_epoch_base: StatsSnapshot,
+    /// Absolute cycle at which the current trace epoch ends (0 = epoch
+    /// clock not yet anchored; anchored lazily at the first traced op).
+    trace_epoch_next: u64,
 }
 
 /// What kind of metadata child a verification walk starts from.
@@ -135,6 +146,9 @@ impl SecureMemory {
             aux_base,
             stats: ControllerStats::default(),
             crashed: false,
+            tracer: amnt_trace::Tracer::default(),
+            trace_epoch_base: StatsSnapshot::default(),
+            trace_epoch_next: 0,
             nvm,
             kind,
             config,
@@ -170,12 +184,157 @@ impl SecureMemory {
         }
     }
 
-    /// Resets all statistics (region-of-interest boundary).
+    /// Resets all statistics (region-of-interest boundary). The trace layer
+    /// resets in lockstep so epoch deltas stay reconcilable with the final
+    /// snapshot.
     pub fn reset_stats(&mut self) {
         self.stats = ControllerStats::default();
         self.metadata_cache.reset_stats();
         self.timeline.reset_stats();
         self.nvm.reset_stats();
+        if self.tracer.enabled() {
+            self.tracer.reset();
+            self.metadata_cache.reset_trace();
+            self.nvm.reset_trace();
+            self.timeline.take_wpq_high_water();
+            self.trace_epoch_base = self.snapshot();
+            self.trace_epoch_next = 0;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Trace layer
+    // ------------------------------------------------------------------
+
+    /// Turns on cycle-domain tracing with `cfg` knobs: per-op spans and
+    /// latency histograms, an epoch time-series of [`StatsSnapshot`] deltas,
+    /// and component counters/strike records from the metadata cache and the
+    /// device. Tracing is purely observational — artifacts are byte-identical
+    /// with it on or off.
+    pub fn enable_tracing(&mut self, cfg: amnt_trace::TraceConfig) {
+        self.tracer = amnt_trace::Tracer::new(cfg);
+        self.metadata_cache.set_tracing(true);
+        self.nvm.set_tracing(true);
+        self.trace_epoch_base = self.snapshot();
+        self.trace_epoch_next = 0;
+    }
+
+    /// Whether cycle-domain tracing is on.
+    pub fn tracing_enabled(&self) -> bool {
+        self.tracer.enabled()
+    }
+
+    /// Epoch clock tick at an operation completing at cycle `t`: anchors the
+    /// epoch boundary on first use, then emits one delta row per boundary
+    /// crossing (quiet epochs produce no rows — the series is sparse).
+    fn trace_tick(&mut self, t: u64) {
+        let epoch_cycles = self.tracer.config().epoch_cycles.max(1);
+        if self.trace_epoch_next == 0 {
+            self.trace_epoch_next = (t / epoch_cycles + 1) * epoch_cycles;
+            return;
+        }
+        if t < self.trace_epoch_next {
+            return;
+        }
+        let completed = t / epoch_cycles;
+        let end_cycle = completed * epoch_cycles;
+        let snap = self.snapshot();
+        let wpq_hw = self.timeline.take_wpq_high_water() as u64;
+        let stale = self.persisted_images.len() as u64;
+        let fields = Self::epoch_delta_fields(&snap, &self.trace_epoch_base, wpq_hw, stale);
+        self.tracer.sample_epoch(completed - 1, end_cycle, &fields);
+        self.trace_epoch_base = snap;
+        self.trace_epoch_next = end_cycle + epoch_cycles;
+    }
+
+    /// The fixed epoch-row schema: [`StatsSnapshot`] deltas plus two gauges
+    /// (WPQ high-water over the epoch, stale metadata lines right now).
+    fn epoch_delta_fields(
+        snap: &StatsSnapshot,
+        base: &StatsSnapshot,
+        wpq_high_water: u64,
+        stale_lines: u64,
+    ) -> [(&'static str, u64); 20] {
+        let c = &snap.controller;
+        let b = &base.controller;
+        let mc = &snap.metadata_cache;
+        let mb = &base.metadata_cache;
+        let tl = &snap.timeline;
+        let tb = &base.timeline;
+        [
+            ("data_reads", c.data_reads - b.data_reads),
+            ("data_writes", c.data_writes - b.data_writes),
+            ("wait_cycles", c.wait_cycles - b.wait_cycles),
+            ("metadata_fetches", c.metadata_fetches - b.metadata_fetches),
+            ("persist_writes", c.persist_writes - b.persist_writes),
+            ("posted_writes", c.posted_writes - b.posted_writes),
+            ("hashes", c.hashes - b.hashes),
+            ("subtree_hits", c.subtree_hits - b.subtree_hits),
+            ("subtree_misses", c.subtree_misses - b.subtree_misses),
+            ("subtree_transitions", c.subtree_transitions - b.subtree_transitions),
+            ("counter_overflows", c.counter_overflows - b.counter_overflows),
+            ("shadow_writes", c.shadow_writes - b.shadow_writes),
+            ("meta_cache_hits", mc.hits - mb.hits),
+            ("meta_cache_misses", mc.misses - mb.misses),
+            ("media_reads", tl.reads - tb.reads),
+            ("media_writes", tl.writes - tb.writes),
+            ("queue_stall_cycles", tl.queue_stall_cycles - tb.queue_stall_cycles),
+            ("bank_wait_cycles", tl.bank_wait_cycles - tb.bank_wait_cycles),
+            ("wpq_high_water", wpq_high_water),
+            ("stale_lines", stale_lines),
+        ]
+    }
+
+    /// Harvests everything the trace layer recorded (`None` when tracing is
+    /// off). Non-mutating: a tail epoch row covering the span since the last
+    /// boundary is appended to the *report*, so epoch deltas always sum to
+    /// the final snapshot, and component counters/strikes are merged in with
+    /// `meta_cache.`/`nvm.` prefixes.
+    pub fn trace_report(&self) -> Option<amnt_trace::TraceReport> {
+        let mut report = self.tracer.report()?;
+        let snap = self.snapshot();
+        let wpq_hw = self.timeline.wpq_high_water() as u64;
+        let stale = self.persisted_images.len() as u64;
+        let fields = Self::epoch_delta_fields(&snap, &self.trace_epoch_base, wpq_hw, stale);
+        if report.epoch_fields.is_empty() {
+            report.epoch_fields = fields.iter().map(|(k, _)| k.to_string()).collect();
+        }
+        let epoch_cycles = self.tracer.config().epoch_cycles.max(1);
+        let end_cycle = self.tracer.last_ts();
+        report.epochs.push(amnt_trace::EpochRow {
+            epoch: end_cycle / epoch_cycles,
+            end_cycle,
+            values: fields.iter().map(|(_, v)| *v).collect(),
+        });
+        let op_index = snap.controller.data_reads + snap.controller.data_writes;
+        report.absorb_component("meta_cache", self.metadata_cache.trace(), end_cycle, op_index);
+        report.absorb_component("nvm", self.nvm.trace(), end_cycle, op_index);
+        Some(report)
+    }
+
+    /// Trace-layer record of one recovery pass's work breakdown (no-op when
+    /// tracing is off).
+    pub(crate) fn trace_recovery(&mut self, r: &crate::recovery::RecoveryReport) {
+        if !self.tracer.enabled() {
+            return;
+        }
+        self.tracer.add("recovery.runs", 1);
+        self.tracer.add("recovery.nvm_reads", r.nvm_reads);
+        self.tracer.add("recovery.bytes_read", r.bytes_read);
+        self.tracer.add("recovery.nvm_writes", r.nvm_writes);
+        self.tracer.add("recovery.counters_recovered", r.counters_recovered);
+        self.tracer.add("recovery.nodes_recomputed", r.nodes_recomputed);
+        let ts = self.tracer.last_ts();
+        self.tracer.instant(
+            ts,
+            "recovery",
+            "recovery",
+            &[
+                ("nvm_reads", r.nvm_reads),
+                ("nodes_recomputed", r.nodes_recomputed),
+                ("counters_recovered", r.counters_recovered),
+            ],
+        );
     }
 
     /// The current AMNT subtree root, if the protocol is AMNT and a hot
@@ -462,6 +621,11 @@ impl SecureMemory {
         // Factory-zero convention: untouched block.
         if major == 0 && minor == 0 && stored_mac == 0 && ct.iter().all(|&b| b == 0) {
             self.stats.wait_cycles += t - now;
+            if self.tracer.enabled() {
+                self.tracer.span(now, t - now, "read", "op", &[("addr", addr)]);
+                self.tracer.record("read.wait", t - now);
+                self.trace_tick(t);
+            }
             return Ok(([0u8; BLOCK_SIZE], t));
         }
         let mac = self.bmt.hasher().data_mac(&ct, addr, major, minor);
@@ -473,6 +637,11 @@ impl SecureMemory {
         // The OTP is generated during the fetch; only the XOR remains.
         let pt = self.engine.decrypt_block(addr, major, minor, &ct);
         self.stats.wait_cycles += t - now;
+        if self.tracer.enabled() {
+            self.tracer.span(now, t - now, "read", "op", &[("addr", addr)]);
+            self.tracer.record("read.wait", t - now);
+            self.trace_tick(t);
+        }
         Ok((pt, t))
     }
 
@@ -558,6 +727,8 @@ impl SecureMemory {
     ) -> Result<u64, IntegrityError> {
         self.validate_data_addr(addr)?;
         self.stats.data_writes += 1;
+        let trace_hits_before = self.stats.subtree_hits;
+        let trace_misses_before = self.stats.subtree_misses;
         let g = self.bmt.geometry().clone();
         let index = g.counter_index(addr);
         let slot = g.counter_slot(addr);
@@ -678,6 +849,18 @@ impl SecureMemory {
         t = self.update_path(t, addr, index, leaf_mac)?;
 
         self.stats.wait_cycles += t.saturating_sub(now);
+        if self.tracer.enabled() {
+            let dur = t.saturating_sub(now);
+            self.tracer.span(now, dur, "write", "op", &[("addr", addr)]);
+            self.tracer.record("write.wait", dur);
+            // AMNT only: split the wait by subtree classification.
+            if self.stats.subtree_hits > trace_hits_before {
+                self.tracer.record("write.subtree_hit.wait", dur);
+            } else if self.stats.subtree_misses > trace_misses_before {
+                self.tracer.record("write.subtree_miss.wait", dur);
+            }
+            self.trace_tick(t);
+        }
         Ok(t)
     }
 
@@ -950,6 +1133,20 @@ impl SecureMemory {
             return Ok(t);
         }
         self.stats.subtree_transitions += 1;
+        if self.tracer.enabled() {
+            // `old` is u64::MAX for the first election (no incumbent yet).
+            self.tracer.instant(
+                t,
+                "amnt.transition",
+                "amnt",
+                &[
+                    ("old", incumbent.map(|id| id.index).unwrap_or(u64::MAX)),
+                    ("new", winner),
+                    ("level", level as u64),
+                ],
+            );
+            self.tracer.add("amnt.transitions", 1);
+        }
 
         // 1. Retire the incumbent: persist its register image, flush dirty
         //    subtree-internal nodes, and fold the new MAC into the global
@@ -1205,6 +1402,16 @@ impl SecureMemory {
         }
         // The burst is pipelined: charge one read pass through the banks.
         t = burst_start + self.config.timing.pcm_read + self.config.timing.pcm_write;
+        if self.tracer.enabled() {
+            self.tracer.span(
+                burst_start,
+                t - burst_start,
+                "reencrypt.page",
+                "overflow",
+                &[("counter_block", index)],
+            );
+            self.tracer.add("reencrypt.pages", 1);
+        }
         Ok(t)
     }
 
@@ -1236,6 +1443,22 @@ impl SecureMemory {
         // writes below model the *post-fault* media and are not themselves
         // subject to the armed fault plan (the plan is consumed here).
         self.nvm.crash();
+        if self.tracer.enabled() {
+            // Promote the device's strike records (FaultPlan ordinal, kind,
+            // address) to timestamped instant events, stamped with the op
+            // index the run had reached — enough to replay the crash point.
+            let ts = self.tracer.last_ts();
+            let op_index = self.stats.data_reads + self.stats.data_writes;
+            for s in self.nvm.take_trace_strikes() {
+                self.tracer.instant(
+                    ts,
+                    s.kind_name(),
+                    "fault",
+                    &[("ordinal", s.ordinal), ("kind", s.kind as u64), ("op_index", op_index)],
+                );
+            }
+            self.tracer.add("crashes", 1);
+        }
         let shadows: Vec<(u64, NodeBytes)> = std::mem::take(&mut self.persisted_images).into_iter().collect();
         for (addr, image) in shadows {
             // Addresses were validated when snapshotted and power is back on,

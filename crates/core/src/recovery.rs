@@ -149,14 +149,16 @@ impl SecureMemory {
         let (nvm, _, _, _, _) = self.parts_for_recovery();
         let after = *nvm.stats();
         self.clear_crashed();
-        Ok(RecoveryReport {
+        let report = RecoveryReport {
             nvm_reads: after.reads - before.reads,
             bytes_read: after.bytes_read - before.bytes_read,
             nvm_writes: after.writes - before.writes,
             counters_recovered,
             nodes_recomputed,
             verified,
-        })
+        };
+        self.trace_recovery(&report);
+        Ok(report)
     }
 
     /// Osiris-style bounded re-derivation of every (touched) counter block:

@@ -53,13 +53,13 @@ impl ControllerStats {
         }
     }
 
-    /// Transitions per data write.
+    /// Transitions per data write; `0.0` when no writes occurred. Only
+    /// writes move the AMNT subtree root, so reads do not dilute the rate.
     pub fn transition_rate(&self) -> f64 {
-        let total = self.data_reads + self.data_writes;
-        if total == 0 {
+        if self.data_writes == 0 {
             0.0
         } else {
-            self.subtree_transitions as f64 / total as f64
+            self.subtree_transitions as f64 / self.data_writes as f64
         }
     }
 }
@@ -89,5 +89,22 @@ mod tests {
     fn hit_rate_computes() {
         let s = ControllerStats { subtree_hits: 3, subtree_misses: 1, ..Default::default() };
         assert_eq!(s.subtree_hit_rate(), 0.75);
+    }
+
+    #[test]
+    fn transition_rate_is_per_data_write() {
+        // Doc contract: "Transitions per data write" — reads must not dilute
+        // the denominator.
+        let s = ControllerStats {
+            data_reads: 1000,
+            data_writes: 4,
+            subtree_transitions: 2,
+            ..Default::default()
+        };
+        assert_eq!(s.transition_rate(), 0.5);
+        // Read-only runs report 0 even if a transition somehow occurred.
+        let read_only =
+            ControllerStats { data_reads: 10, subtree_transitions: 1, ..Default::default() };
+        assert_eq!(read_only.transition_rate(), 0.0);
     }
 }

@@ -75,6 +75,10 @@ pub struct MemoryTimeline {
     inflight: VecDeque<u64>,
     depth: usize,
     stats: TimelineStats,
+    /// Deepest the in-flight queue has been since the last harvest. Lives
+    /// outside [`TimelineStats`] (which is snapshot into artifacts and must
+    /// not grow fields) — this is trace-layer data only.
+    wpq_high_water: usize,
     /// Media writes per 4 KiB frame (endurance accounting).
     wear: BTreeMap<u64, u64>,
 }
@@ -90,6 +94,7 @@ impl MemoryTimeline {
             inflight: VecDeque::with_capacity(queue.depth + 1),
             depth: queue.depth.max(1),
             stats: TimelineStats::default(),
+            wpq_high_water: 0,
             wear: BTreeMap::new(),
         }
     }
@@ -156,7 +161,24 @@ impl MemoryTimeline {
         // Keep the FIFO ordered by completion so front() is the earliest.
         let pos = self.inflight.partition_point(|&t| t <= done);
         self.inflight.insert(pos, done);
+        if self.inflight.len() > self.wpq_high_water {
+            self.wpq_high_water = self.inflight.len();
+        }
         (done, stall)
+    }
+
+    /// Deepest the in-flight write queue has been since the last
+    /// [`MemoryTimeline::take_wpq_high_water`] (trace-layer observability).
+    pub fn wpq_high_water(&self) -> usize {
+        self.wpq_high_water
+    }
+
+    /// Returns the high-water mark and re-seeds it with the current queue
+    /// depth, starting a fresh observation window (e.g. one trace epoch).
+    pub fn take_wpq_high_water(&mut self) -> usize {
+        let hw = self.wpq_high_water;
+        self.wpq_high_water = self.inflight.len();
+        hw
     }
 
     /// The configured timing parameters.
@@ -258,6 +280,22 @@ mod tests {
         // Far in the future both have retired: no stall.
         let (_, stall) = t.write(1_000_000, 128, 0);
         assert_eq!(stall, 0);
+    }
+
+    #[test]
+    fn wpq_high_water_tracks_and_reseeds() {
+        let mut t = timeline(8, 32);
+        t.write(0, 0, 0);
+        t.write(0, 64, 0);
+        t.write(0, 128, 0);
+        assert_eq!(t.wpq_high_water(), 3);
+        // Taking returns the mark and re-seeds with the *current* depth.
+        assert_eq!(t.take_wpq_high_water(), 3);
+        assert_eq!(t.wpq_high_water(), 3, "all three still in flight");
+        // Once the queue drains, a fresh window starts lower.
+        t.write(1_000_000, 192, 0);
+        t.take_wpq_high_water();
+        assert_eq!(t.wpq_high_water(), 1);
     }
 
     #[test]

@@ -45,7 +45,7 @@ fn run(args: Vec<String>) -> i32 {
                         println!("{} ({}): {}\n\n{}", r.id, r.severity, r.summary, r.explanation);
                         0
                     }
-                    None => usage("--explain needs a rule id (R1..R6)"),
+                    None => usage("--explain needs a rule id (R1..R8)"),
                 };
             }
             "--help" | "-h" => {

@@ -1,4 +1,4 @@
-//! The seven workspace rules (R1–R7) and the per-file rule driver.
+//! The eight workspace rules (R1–R8) and the per-file rule driver.
 //!
 //! Every rule works on the masked source from [`crate::lexer`] (comments
 //! and string literals blanked), except R6, which scans the complementary
@@ -39,7 +39,7 @@ pub struct Finding {
     pub path: String,
     /// 1-indexed line.
     pub line: usize,
-    /// Rule id ("R1".."R7").
+    /// Rule id ("R1".."R8").
     pub rule: &'static str,
     /// Rule severity.
     pub severity: Severity,
@@ -64,7 +64,7 @@ impl fmt::Display for Finding {
 /// Static description of one rule, for `--list-rules` and `--explain`.
 #[derive(Debug, Clone, Copy)]
 pub struct RuleInfo {
-    /// Rule id ("R1".."R7").
+    /// Rule id ("R1".."R8").
     pub id: &'static str,
     /// Rule severity.
     pub severity: Severity,
@@ -75,7 +75,7 @@ pub struct RuleInfo {
 }
 
 /// All rules, in id order.
-pub const RULES: [RuleInfo; 7] = [
+pub const RULES: [RuleInfo; 8] = [
     RuleInfo {
         id: "R1",
         severity: Severity::Error,
@@ -102,8 +102,10 @@ seed must produce the same trace, cycle counts, and recovery decisions on
 every run. thread_rng/SystemTime/Instant::now inject wall-clock or OS
 entropy, and iterating a std HashMap (RandomState) makes tie-breaks
 depend on hasher seeding.
-Scope: crates/core/src/, crates/sim/src/, crates/workloads/src/ —
-non-test code only.
+Scope: crates/core/src/, crates/sim/src/, crates/workloads/src/,
+crates/trace/src/ — non-test code only. The trace crate is in scope
+because its artifacts carry the same byte-identity guarantee as the
+simulation results they describe.
 Remedy: use amnt_prng::Rng seeded from the run configuration; iterate
 BTreeMap (or sort keys first) wherever iteration order can reach a
 result, a statistic, or an eviction/prune decision.",
@@ -179,6 +181,25 @@ Remedy: express the work as jobs and run them with
 amnt_bench::exec::run_jobs or a bench Grid; if a new subsystem genuinely
 needs its own threading model, extend exec instead of bypassing it.",
     },
+    RuleInfo {
+        id: "R8",
+        severity: Severity::Error,
+        summary: "no println!/eprintln!/dbg! in engine crates — observe through the trace layer",
+        explanation: "\
+The engine crates are instrumented through amnt-trace: counters,
+histograms, spans, and epoch samples that serialise into deterministic
+sidecar artifacts. A stray println!/eprintln!/dbg! in engine code
+bypasses that layer — it interleaves nondeterministically under the
+parallel executor, pollutes the experiment binaries' stdout tables, and
+(for dbg!) ships debug scaffolding. Experiment/CLI binaries own their
+stdout and are exempt.
+Scope: crates/core/src/, crates/sim/src/, crates/cache/src/,
+crates/nvm/src/ — non-test code only; src/bin/ directories are exempt.
+Remedy: record the fact through the component's CompTrace / the
+controller's Tracer (a counter or instant event), or return it as data;
+if it is operator output, it belongs in a binary under src/bin/ or
+crates/bench.",
+    },
 ];
 
 /// Looks up one rule's metadata by id (case-insensitive).
@@ -194,11 +215,18 @@ const R1_SCOPE: [&str; 4] = [
     "crates/core/src/hybrid.rs",
 ];
 
-/// Determinism scope for R2.
-const R2_SCOPE: [&str; 3] = ["crates/core/src/", "crates/sim/src/", "crates/workloads/src/"];
+/// Determinism scope for R2. The trace crate is included: its sidecar
+/// artifacts carry the same byte-identity guarantee as the results.
+const R2_SCOPE: [&str; 4] =
+    ["crates/core/src/", "crates/sim/src/", "crates/workloads/src/", "crates/trace/src/"];
 
 /// Persist/fence-pairing scope for R3.
 const R3_SCOPE: [&str; 2] = ["crates/core/src/protocol/", "crates/core/src/controller.rs"];
+
+/// Engine-crate scope for R8 (print macros). `src/bin/` subtrees are
+/// exempt — binaries own their stdout.
+const R8_SCOPE: [&str; 4] =
+    ["crates/core/src/", "crates/sim/src/", "crates/cache/src/", "crates/nvm/src/"];
 
 /// Raw-NVM mutation entry points (R3).
 const R3_MUTATIONS: [&str; 3] = [".write_block_untimed(", ".write_bytes_untimed(", ".write_u64("];
@@ -333,6 +361,28 @@ pub fn lint_source(path: &str, content: &str) -> Vec<Finding> {
                 let line = line_of(&starts, at);
                 if !in_test(line) {
                     findings.push(mk(path, line, "R7", msg));
+                }
+            }
+        }
+    }
+
+    // R8: print macros in engine code. Token-bounded so `println` never
+    // also matches inside `eprintln`; the `!` requirement keeps plain
+    // identifiers (a local named `dbg`) out.
+    if R8_SCOPE.iter().any(|s| path.starts_with(s)) && !path.contains("/bin/") {
+        let macros: [(&str, &str); 3] = [
+            ("println", "`println!` in engine code — record it through the trace layer"),
+            ("eprintln", "`eprintln!` in engine code — record it through the trace layer"),
+            ("dbg", "`dbg!` in engine code — record it through the trace layer"),
+        ];
+        for (name, msg) in macros {
+            for at in token_offsets(&masked, name) {
+                if !masked[at + name.len()..].starts_with('!') {
+                    continue;
+                }
+                let line = line_of(&starts, at);
+                if !in_test(line) {
+                    findings.push(mk(path, line, "R8", msg));
                 }
             }
         }
@@ -560,8 +610,9 @@ mod tests {
     #[test]
     fn rule_table_is_consistent() {
         let ids: Vec<&str> = RULES.iter().map(|r| r.id).collect();
-        assert_eq!(ids, vec!["R1", "R2", "R3", "R4", "R5", "R6", "R7"]);
+        assert_eq!(ids, vec!["R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8"]);
         assert!(rule_info("r3").is_some());
+        assert!(rule_info("r8").is_some());
         assert!(rule_info("R9").is_none());
     }
 

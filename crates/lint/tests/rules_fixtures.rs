@@ -316,6 +316,54 @@ fn r7_ignores_mentions_in_comments_and_strings() {
     assert!(rules_at("crates/bench/src/grid.rs", src).is_empty());
 }
 
+// ---------------------------------------------------------------- R8 ----
+
+#[test]
+fn r8_flags_print_macros_in_engine_code() {
+    let bad = "fn f() { println!(\"hit\"); }\n\
+               fn g() { eprintln!(\"miss\"); }\n\
+               fn h(x: u64) -> u64 { dbg!(x) }\n";
+    for path in [
+        "crates/core/src/controller.rs",
+        "crates/sim/src/machine.rs",
+        "crates/cache/src/lib.rs",
+        "crates/nvm/src/lib.rs",
+    ] {
+        let findings = lint_source(path, bad);
+        assert_eq!(findings.iter().filter(|f| f.rule == "R8").count(), 3, "{path}");
+        assert!(findings
+            .iter()
+            .filter(|f| f.rule == "R8")
+            .all(|f| f.severity == Severity::Error));
+    }
+}
+
+#[test]
+fn r8_exempts_bin_dirs_tests_and_other_crates() {
+    let bad = "fn f() { println!(\"table\"); }\n";
+    assert!(rules_at("crates/sim/src/bin/simulate.rs", bad).is_empty());
+    assert!(rules_at("crates/bench/src/grid.rs", bad).is_empty());
+    assert!(rules_at("crates/trace/src/export.rs", bad).is_empty());
+
+    let in_test = "fn live() {}\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                   \x20   #[test]\n\
+                   \x20   fn t() { println!(\"debugging a test is fine\"); }\n\
+                   }\n";
+    assert!(rules_at("crates/core/src/controller.rs", in_test).is_empty());
+}
+
+// Tricky: `println!` quoted in a string or doc comment is message text,
+// and a plain identifier named `dbg` is not the macro.
+#[test]
+fn r8_ignores_strings_comments_and_bare_idents() {
+    let src = "/// Never `println!` here; bump a CompTrace counter.\n\
+               fn f() -> &'static str { \"println! is banned\" }\n\
+               fn g(dbg: u64) -> u64 { dbg + 1 }\n";
+    assert!(rules_at("crates/core/src/controller.rs", src).is_empty());
+}
+
 // ----------------------------------------------------------- ordering ----
 
 #[test]

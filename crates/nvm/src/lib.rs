@@ -173,6 +173,11 @@ pub struct Nvm {
     /// surfaced mid-write, or the WPQ tail was dropped) — the NVDIMM-style
     /// "dirty shutdown" flag recovery consults.
     dirty_shutdown: bool,
+    /// Trace-layer sink (disabled by default): device traffic counters,
+    /// WPQ-journal enqueue/drain counters, and fault-strike records. Counts
+    /// independently of [`NvmStats`] so the tracer can reset it without
+    /// disturbing artifact-visible statistics.
+    trace: amnt_trace::CompTrace,
 }
 
 /// Modelled write-pending-queue depth: the undo journal keeps at most this
@@ -195,6 +200,7 @@ impl Nvm {
             open_group: Vec::new(),
             journal: VecDeque::new(),
             dirty_shutdown: false,
+            trace: amnt_trace::CompTrace::default(),
         }
     }
 
@@ -239,12 +245,14 @@ impl Nvm {
             // group is newest, so it is undone first.
             if faults.drop_wpq_tail > 0 && !self.open_group.is_empty() {
                 let group = std::mem::take(&mut self.open_group);
+                self.record_wpq_drop(&group, dropped as u64);
                 self.undo_group(group);
                 dropped += 1;
             }
             while dropped < faults.drop_wpq_tail {
                 match self.journal.pop_back() {
                     Some(group) => {
+                        self.record_wpq_drop(&group, dropped as u64);
                         self.undo_group(group);
                         dropped += 1;
                     }
@@ -342,10 +350,25 @@ impl Nvm {
 
     /// Appends one undo entry, bounding the journal to the WPQ depth.
     fn journal_push(&mut self, group: Vec<(u64, Vec<u8>)>) {
+        if self.trace.enabled() {
+            self.trace.bump("wpq_enqueues");
+        }
         self.journal.push_back(group);
         if self.journal.len() > JOURNAL_DEPTH {
             // The oldest write has drained out of the WPQ to the media.
             self.journal.pop_front();
+            if self.trace.enabled() {
+                self.trace.bump("wpq_drains");
+            }
+        }
+    }
+
+    /// Records one WPQ-tail drop strike (kind 3) for the trace layer.
+    fn record_wpq_drop(&mut self, group: &[(u64, Vec<u8>)], drop_index: u64) {
+        if self.trace.enabled() {
+            self.trace.bump("wpq_dropped");
+            let addr = group.first().map(|(a, _)| *a).unwrap_or(0);
+            self.trace.strike(drop_index, 3, addr);
         }
     }
 
@@ -420,6 +443,9 @@ impl Nvm {
         }
         self.stats.reads += 1;
         self.stats.bytes_read += buf.len() as u64;
+        if self.trace.enabled() {
+            self.trace.bump("device_reads");
+        }
         self.peek(addr, buf);
         Ok(())
     }
@@ -458,6 +484,9 @@ impl Nvm {
                 FaultAction::Apply => self.journal_record(addr, data.len()),
                 FaultAction::PowerOff => {
                     self.powered_off = true;
+                    if self.trace.enabled() {
+                        self.trace.strike(self.fault_seq - 1, 0, addr);
+                    }
                     return Err(NvmError::PowerFailure { addr });
                 }
                 FaultAction::Torn(half) => {
@@ -465,7 +494,17 @@ impl Nvm {
                         // Atomic groups never tear: the transaction aborts
                         // wholesale before any byte lands.
                         self.powered_off = true;
+                        if self.trace.enabled() {
+                            self.trace.strike(self.fault_seq - 1, 0, addr);
+                        }
                         return Err(NvmError::PowerFailure { addr });
+                    }
+                    if self.trace.enabled() {
+                        let kind = match half {
+                            TornHalf::First => 1,
+                            TornHalf::Last => 2,
+                        };
+                        self.trace.strike(self.fault_seq - 1, kind, addr);
                     }
                     self.journal_record(addr, data.len());
                     let mut merged = vec![0u8; data.len()];
@@ -482,6 +521,9 @@ impl Nvm {
                     }
                     self.stats.writes += 1;
                     self.stats.bytes_written += data.len() as u64;
+                    if self.trace.enabled() {
+                        self.trace.bump("device_writes");
+                    }
                     self.poke(addr, &merged);
                     self.powered_off = true;
                     return Err(NvmError::PowerFailure { addr });
@@ -490,6 +532,9 @@ impl Nvm {
         }
         self.stats.writes += 1;
         self.stats.bytes_written += data.len() as u64;
+        if self.trace.enabled() {
+            self.trace.bump("device_writes");
+        }
         self.poke(addr, data);
         Ok(())
     }
@@ -564,6 +609,28 @@ impl Nvm {
         self.frames.len()
     }
 
+    /// The trace-layer sink: device-traffic counters, WPQ-journal
+    /// enqueue/drain counters, and fault-strike records. Disabled by default.
+    pub fn trace(&self) -> &amnt_trace::CompTrace {
+        &self.trace
+    }
+
+    /// Enables or disables trace-layer recording for this device.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.trace.set_enabled(on);
+    }
+
+    /// Drains the recorded fault strikes (counters are untouched) so the
+    /// controller can promote them to timestamped trace events exactly once.
+    pub fn take_trace_strikes(&mut self) -> Vec<amnt_trace::StrikeRecord> {
+        self.trace.take_strikes()
+    }
+
+    /// Clears trace-layer counters and strike records (keeps the enabled
+    /// flag); used when the tracer resets at region-of-interest starts.
+    pub fn reset_trace(&mut self) {
+        self.trace.reset();
+    }
 }
 
 #[cfg(test)]

@@ -66,6 +66,10 @@ pub struct MachineConfig {
     pub alloc_policy: AllocPolicy,
     /// Allocator aging before measurement; `None` = pristine machine.
     pub aging: Option<AgingConfig>,
+    /// Cycle-domain tracing knobs; `None` (the default) runs untraced.
+    /// Tracing is purely observational: the run's timing, statistics, and
+    /// artifacts are byte-identical with it on or off.
+    pub trace: Option<amnt_trace::TraceConfig>,
 }
 
 impl MachineConfig {
@@ -82,6 +86,7 @@ impl MachineConfig {
             secure: SecureMemoryConfig::paper_default(),
             alloc_policy: AllocPolicy::Standard,
             aging: None,
+            trace: None,
         }
     }
 
@@ -97,6 +102,7 @@ impl MachineConfig {
             secure: SecureMemoryConfig::paper_default(),
             alloc_policy: AllocPolicy::Standard,
             aging: Some(AgingConfig::default()),
+            trace: None,
         }
     }
 
@@ -113,6 +119,7 @@ impl MachineConfig {
             secure: SecureMemoryConfig::paper_default(),
             alloc_policy: AllocPolicy::Standard,
             aging: None,
+            trace: None,
         }
     }
 

@@ -107,8 +107,11 @@ impl Machine {
                 cfg.cores
             )));
         }
-        let secure = SecureMemory::new(cfg.secure.clone(), protocol)
+        let mut secure = SecureMemory::new(cfg.secure.clone(), protocol)
             .map_err(|e| SimError::BadConfig(e.to_string()))?;
+        if let Some(trace_cfg) = cfg.trace {
+            secure.enable_tracing(trace_cfg);
+        }
         let mut mm = MemoryManager::new(cfg.secure.data_capacity / PAGE, cfg.alloc_policy);
         if let Some(aging) = cfg.aging {
             mm.age(aging.seed, aging.occupancy, aging.churn);
@@ -408,6 +411,7 @@ impl Machine {
                 .map(|c| (*c.l1.stats(), *c.l2.stats()))
                 .collect(),
             l3_stats: self.l3.as_ref().map(|l3| *l3.stats()),
+            trace: self.secure.trace_report(),
         }
     }
 }

@@ -37,6 +37,11 @@ pub struct SimReport {
     pub core_cache_stats: Vec<(CacheStats, CacheStats)>,
     /// Shared-L3 hit/miss statistics over the ROI, if the machine has one.
     pub l3_stats: Option<CacheStats>,
+    /// Cycle-domain trace harvest, present iff the machine ran with
+    /// `MachineConfig::trace` set. Never feeds the main artifact writers —
+    /// exporters serialise it into separate `*.trace.json` /
+    /// `*.perfetto.json` sidecars.
+    pub trace: Option<amnt_trace::TraceReport>,
 }
 
 impl SimReport {

@@ -36,6 +36,35 @@ echo "== fault sweep (crash-point exploration smoke) =="
 AMNT_FAULT_OPS="${AMNT_FAULT_OPS:-24}" \
     cargo run --release -p amnt-bench --bin fault_sweep || fail=1
 
+echo "== trace smoke (sidecar determinism + observer purity) =="
+# Quick traced runs of the trace_report grid: the two sidecars must be
+# byte-identical across worker counts, and the main artifact must be
+# byte-identical with tracing on or off (tracing is a pure observer).
+tracedir="$(mktemp -d)"
+trace_smoke() {
+    AMNT_ACCESSES=4000 AMNT_WARMUP=500 \
+        cargo run --release -q -p amnt-bench --bin trace_report >/dev/null || return 1
+}
+AMNT_JOBS=1 trace_smoke || fail=1
+cp results/trace_report.json results/trace_report.trace.json \
+   results/trace_report.perfetto.json "$tracedir"/ || fail=1
+AMNT_JOBS=2 trace_smoke || fail=1
+for f in trace_report.trace.json trace_report.perfetto.json; do
+    if ! cmp -s "$tracedir/$f" "results/$f"; then
+        echo "   trace smoke: $f differs between AMNT_JOBS=1 and 2"
+        fail=1
+    fi
+done
+AMNT_JOBS=2 AMNT_TRACE=0 trace_smoke || fail=1
+if ! cmp -s "$tracedir/trace_report.json" results/trace_report.json; then
+    echo "   trace smoke: main artifact differs with tracing on vs off"
+    fail=1
+fi
+# Leave deterministic traced sidecars behind, not the quick-run artifact.
+AMNT_JOBS=1 trace_smoke || fail=1
+rm -rf "$tracedir"
+[ "$fail" -eq 0 ] && echo "   trace smoke: sidecars deterministic, observer pure"
+
 echo "== perfgate (results/*.json vs EXPERIMENTS.md reference rows) =="
 cargo run --release -p amnt-bench --bin perfgate || fail=1
 
