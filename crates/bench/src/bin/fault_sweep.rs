@@ -2,10 +2,15 @@
 //!
 //! For each recoverable protocol, crash a seeded workload at every device-
 //! write ordinal (clean and torn-line variants) and at every op boundary
-//! with a dropped WPQ tail, recover, and classify each outcome. Emits
-//! `results/fault_sweep.json` with the per-protocol coverage counters that
-//! `perfgate` checks (silent corruption and boundary deficits must be
-//! exactly zero at any workload size).
+//! with a dropped WPQ tail, recover, and classify each outcome — every
+//! read-back checked byte-for-byte against the lockstep untimed oracle.
+//! Eviction-writeback crash points are enumerated as their own class, and
+//! the nested recovery-fault sweep re-crashes the recovery procedure at
+//! every one of its device writes before recovering again (the idempotence
+//! sweep). Emits `results/fault_sweep.json` with the per-protocol coverage
+//! counters that `perfgate` checks (silent corruption, boundary deficits,
+//! eviction-class silents and idempotence violations must be exactly zero
+//! at any workload size).
 //!
 //! `AMNT_FAULT_OPS` scales the workload (default 100 ops — the acceptance
 //! sweep). The per-protocol sweeps are independent and run in parallel;
@@ -77,8 +82,49 @@ fn main() {
         result.push(&cell.row, "silent", s.silent as f64);
         result.push(&cell.row, "boundary_deficit", s.boundary_deficit as f64);
         result.push(&cell.row, "bounds_violations", s.bounds_violations as f64);
+        result.push(&cell.row, "evict_points", s.evict_points as f64);
+        result.push(&cell.row, "evict_recovered", s.evict_recovered as f64);
+        result.push(&cell.row, "evict_detected", s.evict_detected as f64);
+        result.push(&cell.row, "evict_silent", s.evict_silent as f64);
+        result.push(&cell.row, "recovery_points", s.recovery_points as f64);
+        result.push(&cell.row, "recovery_recovered", s.recovery_recovered as f64);
+        result.push(&cell.row, "recovery_detected", s.recovery_detected as f64);
+        result.push(&cell.row, "idempotence_violations", s.idempotence_violations as f64);
+        result.push(&cell.row, "work_regressions", s.work_regressions as f64);
     }
-    println!("\nsilent corruption and boundary deficits must be zero for every protocol.");
+    println!(
+        "\n{:<9}{:>7}{:>9}{:>9}{:>9}{:>9}{:>9}{:>9}{:>7}{:>7}",
+        "protocol",
+        "evict",
+        "ev_rec",
+        "ev_det",
+        "ev_sil",
+        "rec_pts",
+        "rec_rec",
+        "rec_det",
+        "idem",
+        "workrg"
+    );
+    for cell in results.cells() {
+        let s = &cell.value;
+        println!(
+            "{:<9}{:>7}{:>9}{:>9}{:>9}{:>9}{:>9}{:>9}{:>7}{:>7}",
+            cell.row,
+            s.evict_points,
+            s.evict_recovered,
+            s.evict_detected,
+            s.evict_silent,
+            s.recovery_points,
+            s.recovery_recovered,
+            s.recovery_detected,
+            s.idempotence_violations,
+            s.work_regressions
+        );
+    }
+    println!(
+        "\nsilent corruption, boundary deficits, eviction-class silents and \
+         idempotence violations must be zero for every protocol."
+    );
     result.set_host(&timer, results.workers);
     let path = result.save().expect("save results");
     println!("saved {}", path.display());

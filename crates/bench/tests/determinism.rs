@@ -5,7 +5,8 @@
 //! only change scheduling, and results land by declaration index.
 
 use amnt_bench::{ExperimentResult, Grid};
-use amnt_core::{AmntConfig, ProtocolKind};
+use amnt_core::fault::{run_sweep, sweep_protocols};
+use amnt_core::{AmntConfig, FaultSweepConfig, ProtocolKind, SweepSummary};
 use amnt_sim::{run_single, MachineConfig, RunLength, SimReport};
 use amnt_workloads::WorkloadModel;
 
@@ -56,4 +57,54 @@ fn odd_worker_counts_match_too() {
     for workers in [2, 3, 9] {
         assert_eq!(reference, render(workers), "workers={workers}");
     }
+}
+
+/// A miniature fault-sweep grid: every recoverable protocol swept at a
+/// small op count, nested recovery-fault pass included — the same cells
+/// the `fault_sweep` bin emits, scaled down.
+fn fault_grid() -> Grid<SweepSummary> {
+    let cfg = FaultSweepConfig { ops: 8, ..FaultSweepConfig::default() };
+    let mut grid: Grid<SweepSummary> = Grid::new();
+    for (name, kind) in sweep_protocols() {
+        let cfg = cfg.clone();
+        grid.add(name, "sweep", move || {
+            run_sweep(kind, &cfg).unwrap_or_else(|e| panic!("{name}: sweep setup failed: {e}"))
+        });
+    }
+    grid
+}
+
+fn render_fault(workers: usize) -> String {
+    let results = fault_grid().run_with(workers);
+    assert_eq!(results.workers, workers);
+    let mut result =
+        ExperimentResult::new("fault_sweep", "crash-point exploration outcomes per protocol");
+    for cell in results.cells() {
+        let s = &cell.value;
+        result.push(&cell.row, "crash_points", s.crash_points as f64);
+        result.push(&cell.row, "recovered", s.recovered as f64);
+        result.push(&cell.row, "detected", s.detected as f64);
+        result.push(&cell.row, "torn_recovered", s.torn_recovered as f64);
+        result.push(&cell.row, "torn_detected", s.torn_detected as f64);
+        result.push(&cell.row, "silent", s.silent as f64);
+        result.push(&cell.row, "evict_points", s.evict_points as f64);
+        result.push(&cell.row, "evict_silent", s.evict_silent as f64);
+        result.push(&cell.row, "recovery_points", s.recovery_points as f64);
+        result.push(&cell.row, "recovery_recovered", s.recovery_recovered as f64);
+        result.push(&cell.row, "recovery_detected", s.recovery_detected as f64);
+        result.push(&cell.row, "idempotence_violations", s.idempotence_violations as f64);
+        result.push(&cell.row, "work_regressions", s.work_regressions as f64);
+    }
+    result.to_json()
+}
+
+#[test]
+fn fault_sweep_artifact_is_byte_identical_across_worker_counts() {
+    // The fault-sweep artifact must be a pure function of (protocol, ops):
+    // `AMNT_JOBS` may only change scheduling, never a single byte of the
+    // JSON — including the nested recovery-fault and eviction-class cells.
+    let serial = render_fault(1);
+    assert!(serial.contains("idempotence_violations"));
+    let parallel = render_fault(4);
+    assert_eq!(serial, parallel, "fault_sweep artifact varied with worker count");
 }

@@ -33,7 +33,7 @@ use amnt_bmt::{
 };
 use amnt_cache::SetAssocCache;
 use amnt_crypto::CtrEngine;
-use amnt_nvm::{Nvm, NvmConfig};
+use amnt_nvm::{Nvm, NvmConfig, WriteClass};
 use std::collections::BTreeMap;
 
 /// Size of a data block in bytes.
@@ -377,14 +377,27 @@ impl SecureMemory {
     ///
     /// # Errors
     ///
-    /// [`IntegrityError::Device`] if the Anubis shadow-table slot cannot be
-    /// written (aux region misconfigured).
+    /// [`IntegrityError::Device`] if an eviction writeback or the Anubis
+    /// shadow-table slot cannot be written (power failing, aux region
+    /// misconfigured).
     fn meta_fill(&mut self, mut t: u64, addr: u64, dirty: bool) -> Result<u64, IntegrityError> {
         if let Some(ev) = self.metadata_cache.fill(addr, dirty) {
             if ev.dirty {
                 // Lazy writeback: the line's current image becomes persisted.
+                // Under the modeling contract the NVM already holds the
+                // logically-current bytes, so the writeback rewrites them in
+                // place — but it is issued as a real eviction-class device
+                // write: it consumes a crash-point ordinal (out of protocol
+                // order, the hazard lazy persistence must bound) and a power
+                // failure landing on it propagates *before* the rollback
+                // image is dropped, leaving crash semantics unchanged.
                 let (_, _stall) = self.timeline.write(t, ev.addr, 0);
                 self.stats.posted_writes += 1;
+                let image = self.nvm.read_block_untimed(ev.addr)?;
+                self.nvm.set_write_class(WriteClass::Eviction);
+                let wrote = self.nvm.write_block_untimed(ev.addr, &image);
+                self.nvm.set_write_class(WriteClass::Protocol);
+                wrote?;
                 self.persisted_images.remove(&ev.addr);
             }
             if let ProtocolState::Anubis(s) = &mut self.protocol {
@@ -1440,8 +1453,10 @@ impl SecureMemory {
         }
         // Power actually fails now. Device-level faults — a lost or torn
         // in-flight write, a dropped WPQ tail — land first, so the rollback
-        // writes below model the *post-fault* media and are not themselves
-        // subject to the armed fault plan (the plan is consumed here).
+        // restores below model the *post-fault* media. They bypass the fault
+        // path entirely: a multi-phase plan that survives this crash (the
+        // recovery-phase ordinal domain) must see recovery's own writes as
+        // ordinal 0, not the model's volatility bookkeeping.
         self.nvm.crash();
         if self.tracer.enabled() {
             // Promote the device's strike records (FaultPlan ordinal, kind,
@@ -1461,9 +1476,7 @@ impl SecureMemory {
         }
         let shadows: Vec<(u64, NodeBytes)> = std::mem::take(&mut self.persisted_images).into_iter().collect();
         for (addr, image) in shadows {
-            // Addresses were validated when snapshotted and power is back on,
-            // so the restore cannot fail.
-            let _ = self.nvm.write_block_untimed(addr, &image);
+            self.nvm.rollback_bytes(addr, &image);
         }
         self.metadata_cache.clear();
         self.timeline.reset();

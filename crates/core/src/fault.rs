@@ -22,11 +22,38 @@
 //!   (prefix-loss equivalence) or a detected error is acceptable; bytes the
 //!   workload never wrote are not.
 //!
+//! Two further dimensions ride on the clean sweep:
+//!
+//! * **Nested recovery faults** ([`FaultSweepConfig::recovery_faults`]):
+//!   for every clean mutation-path crash point, the recovery procedure
+//!   itself is re-crashed at every one of *its* device writes — the
+//!   recovery-phase ordinal domain a [`PhasedPlan`] survives into — both
+//!   cleanly and tearing the in-flight line, and then recovered again.
+//!   Recovery must be *idempotent*: a cleanly interrupted recovery, re-run,
+//!   must converge to a byte-identical media state and the same outcome
+//!   class as the uninterrupted recovery
+//!   ([`SweepSummary::idempotence_violations`]), and repeating a completed
+//!   recovery must never do more work than the pass before it
+//!   ([`SweepSummary::work_regressions`]).
+//! * **Eviction-writeback crash points**: metadata-cache eviction
+//!   writebacks persist tree nodes *out of protocol order* — the exact
+//!   hazard lazy (leaf-style) persistence claims to bound — so their
+//!   ordinals are enumerated as their own class
+//!   ([`SweepSummary::evict_points`]) and their clean-crash outcomes
+//!   attributed separately. The sweep shrinks the metadata cache
+//!   ([`FaultSweepConfig::metadata_cache_bytes`]) so eviction pressure is
+//!   real at every workload size.
+//!
 //! Every outcome that exposes wrong bytes without an error — the property
 //! the paper's protocols must never violate — lands in
 //! [`SweepSummary::silent`], and the per-recovery [`RecoveryReport`]
 //! counters are additionally checked against analytical bounds derived from
 //! [`RecoveryModel`] stale fractions ([`SweepSummary::bounds_violations`]).
+//!
+//! Classification is differential, not merely self-consistent: after every
+//! recovery the sweep replays the committed operation prefix into a
+//! lockstep [`UntimedMemory`] oracle and demands each address the workload
+//! ever wrote read back *byte-for-byte equal* to that ground truth.
 //!
 //! The sweep is a pure function of ([`ProtocolKind`], [`FaultSweepConfig`]):
 //! same inputs, byte-identical [`SweepSummary`], regardless of how many
@@ -35,13 +62,14 @@
 use crate::error::IntegrityError;
 use crate::protocol::ProtocolKind;
 use crate::recovery::{RecoveryModel, RecoveryReport, RecoveryScenario};
+use crate::untimed::UntimedMemory;
 use crate::{
     AmntConfig, AnubisConfig, BmfConfig, OsirisConfig, SecureMemory, SecureMemoryConfig,
     BLOCK_SIZE,
 };
-use amnt_nvm::{FaultPlan, NvmError, TornHalf};
+use amnt_nvm::{CrashWriteMode, FaultHook, FaultPlan, NvmError, PhasedPlan, TornHalf};
 use amnt_prng::Rng;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 pub use crate::error::RecoveryError;
 
@@ -59,6 +87,15 @@ pub struct FaultSweepConfig {
     pub tail_depths: Vec<usize>,
     /// Explore torn-line variants (both halves) at every ordinal.
     pub torn: bool,
+    /// Nested recovery-fault sweep: for every clean mutation-path crash
+    /// point, re-crash the recovery procedure at every one of its own
+    /// device writes (clean, and torn when [`FaultSweepConfig::torn`] is
+    /// set), recover again, and check idempotence.
+    pub recovery_faults: bool,
+    /// Metadata cache size for the swept controllers. Deliberately small
+    /// (16 lines) so dirty eviction writebacks — their own crash-point
+    /// class — occur even at smoke-test workload sizes.
+    pub metadata_cache_bytes: usize,
 }
 
 impl Default for FaultSweepConfig {
@@ -69,6 +106,8 @@ impl Default for FaultSweepConfig {
             capacity: 1024 * 1024,
             tail_depths: vec![1, 2, 4],
             torn: true,
+            recovery_faults: true,
+            metadata_cache_bytes: 1024,
         }
     }
 }
@@ -102,6 +141,37 @@ pub struct SweepSummary {
     /// Recoveries whose [`RecoveryReport`] counters exceeded the analytical
     /// [`RecoveryModel`]-derived bounds — must stay zero.
     pub bounds_violations: u64,
+    /// Crash points that were metadata-cache eviction writebacks (a subset
+    /// of `crash_points`, enumerated as their own class).
+    pub evict_points: u64,
+    /// Clean crashes at eviction-writeback ordinals that fully recovered.
+    pub evict_recovered: u64,
+    /// Clean crashes at eviction-writeback ordinals where recovery returned
+    /// a detected error.
+    pub evict_detected: u64,
+    /// Silent outcomes (any mode, including nested) whose mutation-path
+    /// crash point was an eviction writeback — subset of `silent`, must
+    /// stay zero.
+    pub evict_silent: u64,
+    /// Nested recovery-crash scenarios explored (recovery-phase ordinals ×
+    /// fault modes, across all mutation-path crash points).
+    pub recovery_points: u64,
+    /// Nested scenarios whose re-recovery succeeded with an oracle-exact
+    /// read-back.
+    pub recovery_recovered: u64,
+    /// Nested scenarios whose re-recovery returned a detected error
+    /// (acceptable only for torn recovery writes, or when the baseline
+    /// recovery also detected).
+    pub recovery_detected: u64,
+    /// Idempotence failures — must stay zero. Counted when a cleanly
+    /// interrupted recovery, re-run, diverges from the uninterrupted
+    /// recovery (different media bytes or a flipped outcome class), or when
+    /// repeating an already-completed recovery changes the media or fails.
+    pub idempotence_violations: u64,
+    /// Repeat recoveries that did *more* work (see
+    /// [`RecoveryReport::work`]) than the pass before them — must stay
+    /// zero: recovery work is monotonically non-increasing across repeats.
+    pub work_regressions: u64,
 }
 
 /// One workload operation.
@@ -160,7 +230,9 @@ fn generate(cfg: &FaultSweepConfig) -> Workload {
 
 impl Workload {
     /// Expected contents of `addr` once the first `completed` ops ran
-    /// (`None` = never written: factory zeros).
+    /// (`None` = never written: factory zeros). Test-only cross-check of
+    /// the oracle replay.
+    #[cfg(test)]
     fn expected(&self, addr: u64, completed: usize) -> Option<&[u8; BLOCK_SIZE]> {
         self.history
             .get(&addr)
@@ -189,10 +261,24 @@ impl Workload {
             _ => None,
         }
     }
+
+    /// Lockstep oracle replay of the committed prefix: the ground-truth
+    /// state once the first `completed` ops ran.
+    fn oracle(&self, completed: usize) -> UntimedMemory {
+        let mut m = UntimedMemory::new();
+        for op in self.ops.iter().take(completed) {
+            if let Op::Write { addr, value } = op {
+                m.write_block(*addr, value);
+            }
+        }
+        m
+    }
 }
 
 fn fresh(kind: ProtocolKind, cfg: &FaultSweepConfig) -> Result<SecureMemory, IntegrityError> {
-    SecureMemory::new(SecureMemoryConfig::with_capacity(cfg.capacity), kind)
+    let mem_cfg = SecureMemoryConfig::with_capacity(cfg.capacity)
+        .with_metadata_cache_bytes(cfg.metadata_cache_bytes);
+    SecureMemory::new(mem_cfg, kind)
 }
 
 fn apply(mem: &mut SecureMemory, t: u64, op: &Op) -> Result<u64, IntegrityError> {
@@ -204,6 +290,10 @@ fn apply(mem: &mut SecureMemory, t: u64, op: &Op) -> Result<u64, IntegrityError>
 
 fn power_failed(e: &IntegrityError) -> bool {
     matches!(e, IntegrityError::Device(NvmError::PowerFailure { .. }))
+}
+
+fn recovery_power_failed(e: &RecoveryError) -> bool {
+    matches!(e, RecoveryError::Device(NvmError::PowerFailure { .. }))
 }
 
 /// How one crash-and-recover attempt ended.
@@ -219,10 +309,15 @@ enum Outcome {
     Silent,
 }
 
-/// Read-back verification after a successful recovery. `strict` (clean
-/// mode) requires every completed block to read back exactly; otherwise
-/// (torn/tail) a read error on a completed block counts as detected and
-/// historical values are accepted when `prefix_loss` is set.
+/// Read-back verification after a successful recovery, differentially
+/// against the lockstep [`UntimedMemory`] oracle replay of the committed
+/// prefix: every address the workload ever wrote must read back
+/// byte-for-byte equal to the oracle's ground truth (factory zeros where
+/// never written). `strict` (clean modes) requires every completed block to
+/// read back; otherwise (torn/tail) a read error on a completed block
+/// counts as detected, and any historical value is accepted when
+/// `prefix_loss` is set (a dropped WPQ tail legitimately rewinds an address
+/// to an earlier committed value).
 fn classify_readback(
     mem: &mut SecureMemory,
     w: &Workload,
@@ -230,23 +325,20 @@ fn classify_readback(
     strict: bool,
     prefix_loss: bool,
 ) -> Outcome {
+    let oracle = w.oracle(completed);
+    let next = w.oracle(completed + 1);
     let interrupted = w.interrupted_target(completed);
     let mut reads_detected = 0u64;
-    for (&addr, _) in w.history.iter() {
-        let expected = w.expected(addr, completed);
+    for &addr in w.history.keys() {
         match mem.read_block(0, addr) {
             Ok((data, _)) => {
                 let ok = if prefix_loss {
                     w.historical(addr, &data, completed + 1)
                 } else {
-                    match expected {
-                        Some(v) => data == *v,
-                        None => data.iter().all(|&b| b == 0),
-                    }
+                    data == oracle.read_block(addr)
                 };
                 // The interrupted write may have landed in full.
-                let new_landed = Some(addr) == interrupted
-                    && w.expected(addr, completed + 1).map(|v| data == *v).unwrap_or(false);
+                let new_landed = Some(addr) == interrupted && data == next.read_block(addr);
                 if !ok && !new_landed {
                     return Outcome::Silent;
                 }
@@ -297,11 +389,11 @@ fn replay(
     kind: ProtocolKind,
     cfg: &FaultSweepConfig,
     w: &Workload,
-    plan: FaultPlan,
+    hook: Box<dyn FaultHook>,
     limit: usize,
 ) -> Result<(SecureMemory, usize, bool), IntegrityError> {
     let mut mem = fresh(kind, cfg)?;
-    mem.nvm_mut().arm_fault_hook(Box::new(plan));
+    mem.nvm_mut().arm_fault_hook(hook);
     let mut t = 0;
     for (i, op) in w.ops.iter().take(limit).enumerate() {
         match apply(&mut mem, t, op) {
@@ -345,7 +437,8 @@ fn crash_and_classify(
 pub fn run_sweep(kind: ProtocolKind, cfg: &FaultSweepConfig) -> Result<SweepSummary, IntegrityError> {
     let w = generate(cfg);
 
-    // Phase 1: count device-write ordinals and record each op's boundary.
+    // Phase 1: count device-write ordinals, record each op's boundary, and
+    // collect the eviction-writeback ordinal class.
     let mut mem = fresh(kind, cfg)?;
     mem.nvm_mut().arm_fault_hook(Box::new(FaultPlan::count_only()));
     let mut t = 0;
@@ -355,32 +448,107 @@ pub fn run_sweep(kind: ProtocolKind, cfg: &FaultSweepConfig) -> Result<SweepSumm
         boundaries.push(mem.nvm_mut().device_write_ordinals());
     }
     let total = boundaries.last().copied().unwrap_or(0);
+    let evict_ordinals: BTreeSet<u64> =
+        mem.nvm_mut().eviction_write_ordinals().iter().copied().collect();
 
-    let mut s = SweepSummary { crash_points: total, ..SweepSummary::default() };
+    let mut s = SweepSummary {
+        crash_points: total,
+        evict_points: evict_ordinals.len() as u64,
+        ..SweepSummary::default()
+    };
 
-    // Phase 2: clean and torn crashes at every ordinal.
+    // Phase 2: clean and torn crashes at every ordinal. Each clean crash
+    // doubles as the baseline for the nested recovery-fault sweep.
     for k in 0..total {
         let boundary = boundaries.binary_search(&k).is_ok();
-        let (mut mem, completed, faulted) =
-            replay(kind, cfg, &w, FaultPlan::crash_after(k), w.ops.len())?;
+        let evict = evict_ordinals.contains(&k);
+        // Clean crash, with a count-only second phase: the recovery
+        // procedure's own device writes become the nested sweep's crash
+        // points, counted in their fresh post-crash ordinal domain.
+        let plan = PhasedPlan::two_phase(FaultPlan::crash_after(k), FaultPlan::count_only());
+        let (mut mem, completed, faulted) = replay(kind, cfg, &w, Box::new(plan), w.ops.len())?;
+        let mut recovery_writes = 0u64;
+        let mut baseline_media: Option<Vec<(u64, Vec<u8>)>> = None;
         if faulted {
-            let outcome =
-                crash_and_classify(kind, &mut mem, &w, completed, true, false, &mut s.bounds_violations);
+            mem.crash();
+            let outcome = match mem.recover() {
+                Err(_) => Outcome::Detected,
+                Ok(report) => {
+                    // The recovery-phase ordinal count is captured before
+                    // read-back: read-path cache evictions would otherwise
+                    // keep consuming recovery-domain ordinals.
+                    recovery_writes = mem.nvm_mut().device_write_ordinals();
+                    if !report_in_bounds(kind, &mem, &report) {
+                        s.bounds_violations += 1;
+                    }
+                    let media = mem.nvm_mut().media_image();
+                    // Idempotence baseline: re-crash the recovered state
+                    // cleanly and recover again — the repeat must succeed,
+                    // leave the media byte-identical, and never do more
+                    // work than the first pass.
+                    mem.crash();
+                    match mem.recover() {
+                        Ok(repeat) => {
+                            if repeat.work() > report.work() {
+                                s.work_regressions += 1;
+                            }
+                            if mem.nvm_mut().media_image() != media {
+                                s.idempotence_violations += 1;
+                            }
+                        }
+                        Err(_) => s.idempotence_violations += 1,
+                    }
+                    baseline_media = Some(media);
+                    classify_readback(&mut mem, &w, completed, true, false)
+                }
+            };
             match outcome {
-                Outcome::Recovered { .. } => s.recovered += 1,
-                Outcome::Detected => s.detected += 1,
-                Outcome::Silent => s.silent += 1,
+                Outcome::Recovered { .. } => {
+                    s.recovered += 1;
+                    if evict {
+                        s.evict_recovered += 1;
+                    }
+                }
+                Outcome::Detected => {
+                    s.detected += 1;
+                    if evict {
+                        s.evict_detected += 1;
+                    }
+                }
+                Outcome::Silent => {
+                    s.silent += 1;
+                    if evict {
+                        s.evict_silent += 1;
+                    }
+                }
             }
             if boundary && outcome != (Outcome::Recovered { reads_detected: 0 }) {
                 s.boundary_deficit += 1;
             }
         }
+
+        // Nested sweep: re-crash the recovery procedure at every one of its
+        // device writes, then recover again.
+        if cfg.recovery_faults && faulted && recovery_writes > 0 {
+            nested_recovery_sweep(
+                kind,
+                cfg,
+                &w,
+                k,
+                recovery_writes,
+                baseline_media.as_deref(),
+                evict,
+                &mut s,
+            )?;
+        }
+
         if !cfg.torn {
             continue;
         }
         for half in [TornHalf::First, TornHalf::Last] {
+            let plan = FaultPlan::torn_after(k, half);
             let (mut mem, completed, faulted) =
-                replay(kind, cfg, &w, FaultPlan::torn_after(k, half), w.ops.len())?;
+                replay(kind, cfg, &w, Box::new(plan), w.ops.len())?;
             if !faulted {
                 continue;
             }
@@ -391,7 +559,12 @@ pub fn run_sweep(kind: ProtocolKind, cfg: &FaultSweepConfig) -> Result<SweepSumm
                     s.detected_at_read += reads_detected;
                 }
                 Outcome::Detected => s.torn_detected += 1,
-                Outcome::Silent => s.silent += 1,
+                Outcome::Silent => {
+                    s.silent += 1;
+                    if evict {
+                        s.evict_silent += 1;
+                    }
+                }
             }
         }
     }
@@ -400,7 +573,7 @@ pub fn run_sweep(kind: ProtocolKind, cfg: &FaultSweepConfig) -> Result<SweepSumm
     for limit in 1..=w.ops.len() {
         for &depth in &cfg.tail_depths {
             let (mut mem, completed, _) =
-                replay(kind, cfg, &w, FaultPlan::drop_tail(depth), limit)?;
+                replay(kind, cfg, &w, Box::new(FaultPlan::drop_tail(depth)), limit)?;
             match crash_and_classify(kind, &mut mem, &w, completed, false, true, &mut s.bounds_violations)
             {
                 Outcome::Recovered { reads_detected } => {
@@ -414,6 +587,114 @@ pub fn run_sweep(kind: ProtocolKind, cfg: &FaultSweepConfig) -> Result<SweepSumm
     }
 
     Ok(s)
+}
+
+/// The nested recovery-fault sweep for one mutation-path crash point `k`:
+/// for every recovery-phase ordinal `r` in `0..recovery_writes` and every
+/// fault mode, replay to `k`, crash, let recovery run until the nested
+/// fault cuts power at its `r`-th device write, power-cycle again, and
+/// recover to completion.
+///
+/// Idempotence contract, checked against the single-recovery baseline:
+///
+/// * A **cleanly** interrupted recovery, re-run, must converge to the same
+///   outcome class as the uninterrupted recovery, and — when that baseline
+///   succeeded — to byte-identical media (`baseline_media`). Divergence is
+///   an idempotence violation.
+/// * A **torn** recovery write may leave detectable damage (the re-run may
+///   fail, or individual reads may fail MAC checks — recovery rewrites its
+///   whole write set, but a torn counter can poison re-derivation), yet
+///   never a silent one.
+#[allow(clippy::too_many_arguments)]
+fn nested_recovery_sweep(
+    kind: ProtocolKind,
+    cfg: &FaultSweepConfig,
+    w: &Workload,
+    k: u64,
+    recovery_writes: u64,
+    baseline_media: Option<&[(u64, Vec<u8>)]>,
+    evict: bool,
+    s: &mut SweepSummary,
+) -> Result<(), IntegrityError> {
+    let modes: &[CrashWriteMode] = if cfg.torn {
+        &[
+            CrashWriteMode::Clean,
+            CrashWriteMode::Torn(TornHalf::First),
+            CrashWriteMode::Torn(TornHalf::Last),
+        ]
+    } else {
+        &[CrashWriteMode::Clean]
+    };
+    for r in 0..recovery_writes {
+        for &mode in modes {
+            let rplan = match mode {
+                CrashWriteMode::Clean => FaultPlan::crash_after(r),
+                CrashWriteMode::Torn(half) => FaultPlan::torn_after(r, half),
+            };
+            let plan = PhasedPlan::two_phase(FaultPlan::crash_after(k), rplan);
+            let (mut mem, completed, faulted) =
+                replay(kind, cfg, &w, Box::new(plan), w.ops.len())?;
+            if !faulted {
+                continue;
+            }
+            s.recovery_points += 1;
+            mem.crash();
+            let first = mem.recover();
+            match first {
+                Err(ref e) if recovery_power_failed(e) => {}
+                _ => {
+                    // The nested fault never fired as a power failure: the
+                    // un-faulted recovery prefix errored first (`r` lies at
+                    // or past the baseline's own failure point). Detected.
+                    s.recovery_detected += 1;
+                    continue;
+                }
+            }
+            // Power-cycle out of the interrupted recovery and run it again,
+            // this time to completion (the phased plan is exhausted).
+            mem.crash();
+            match mem.recover() {
+                Err(_) => {
+                    s.recovery_detected += 1;
+                    if baseline_media.is_some() && mode == CrashWriteMode::Clean {
+                        // The uninterrupted recovery succeeded, so a clean
+                        // interruption must be restartable.
+                        s.idempotence_violations += 1;
+                    }
+                }
+                Ok(report) => {
+                    s.recovery_recovered += 1;
+                    if !report_in_bounds(kind, &mem, &report) {
+                        s.bounds_violations += 1;
+                    }
+                    let media = mem.nvm_mut().media_image();
+                    let strict = mode == CrashWriteMode::Clean;
+                    match classify_readback(&mut mem, &w, completed, strict, false) {
+                        Outcome::Recovered { reads_detected } => {
+                            s.detected_at_read += reads_detected;
+                        }
+                        Outcome::Silent => {
+                            s.silent += 1;
+                            if evict {
+                                s.evict_silent += 1;
+                            }
+                        }
+                        Outcome::Detected => {}
+                    }
+                    if mode == CrashWriteMode::Clean {
+                        match baseline_media {
+                            Some(b) if b == media.as_slice() => {}
+                            // Media divergence, or the baseline detected
+                            // where the interrupted re-run succeeded: the
+                            // outcome depends on where recovery was cut.
+                            _ => s.idempotence_violations += 1,
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
 }
 
 /// The six recoverable protocols in the evaluation, with the same knobs the

@@ -62,3 +62,4 @@ pub use protocol::{
 pub use recovery::{table4_scenarios, RecoveryModel, RecoveryReport, RecoveryScenario};
 pub use stats::{ControllerStats, StatsSnapshot};
 pub use timing::{MemoryTimeline, TimelineStats, WearSummary};
+pub use untimed::UntimedMemory;

@@ -26,6 +26,18 @@ pub struct RecoveryReport {
     pub verified: bool,
 }
 
+impl RecoveryReport {
+    /// Scalar recovery effort: device traffic plus re-derivation work. The
+    /// idempotence sweeps require this to be monotonically non-increasing
+    /// across repeated recoveries of the same crash — a repeat recovery
+    /// starts from a strictly more consistent state, so it must never have
+    /// *more* to do (counters already advanced, nodes already rebuilt, no
+    /// dirty-shutdown audit on a clean re-crash).
+    pub fn work(&self) -> u64 {
+        self.nvm_reads + self.nvm_writes + self.counters_recovered + self.nodes_recomputed
+    }
+}
+
 impl SecureMemory {
     /// Recovers the metadata state after [`SecureMemory::crash`], following
     /// the active protocol's procedure. After a successful recovery the

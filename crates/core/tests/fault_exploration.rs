@@ -1,14 +1,17 @@
 //! Exhaustive crash-point exploration: every device-write ordinal of a
 //! seeded workload is a crash point, in clean, torn-line, and dropped-WPQ-
-//! tail variants, for every recoverable protocol. The acceptance property:
-//! each crash ends in verified recovery or a *detected* error — zero silent
-//! corruption — and clean op-boundary crashes always fully recover.
+//! tail variants, for every recoverable protocol, with every read-back
+//! checked byte-for-byte against the lockstep untimed oracle. The
+//! acceptance property: each crash ends in verified recovery or a
+//! *detected* error — zero silent corruption — clean op-boundary crashes
+//! always fully recover, and the nested recovery-fault sweep (crash →
+//! crash-during-recover → recover-again) finds zero idempotence violations.
 //!
 //! `AMNT_FAULT_OPS` scales the workload (default 24 ops: debug-friendly;
 //! the `fault_sweep` bench bin runs the 100-op acceptance sweep).
 
 use amnt_core::fault::{run_sweep, sweep_protocols};
-use amnt_core::FaultSweepConfig;
+use amnt_core::{FaultSweepConfig, ProtocolKind};
 
 fn sweep_config() -> FaultSweepConfig {
     let ops = std::env::var("AMNT_FAULT_OPS")
@@ -44,6 +47,62 @@ fn no_silent_corruption_at_any_crash_point() {
             "{name}: no WPQ-tail scenarios ran: {s:?}"
         );
     }
+}
+
+#[test]
+fn nested_recovery_crashes_are_idempotent() {
+    // The tentpole invariant: crash the mutation path, crash recovery at
+    // every one of *its* device writes (clean + both torn halves), recover
+    // again — the final state must match the single-recovery state and the
+    // untimed oracle, with recovery work monotonically non-increasing.
+    let cfg = sweep_config();
+    for (name, kind) in sweep_protocols() {
+        let s = run_sweep(kind, &cfg).unwrap_or_else(|e| panic!("{name}: sweep setup: {e}"));
+        assert_eq!(s.silent, 0, "{name}: silent corruption outcomes: {s:?}");
+        assert_eq!(s.idempotence_violations, 0, "{name}: recovery not idempotent: {s:?}");
+        assert_eq!(s.work_regressions, 0, "{name}: repeat recovery did more work: {s:?}");
+        assert_eq!(
+            s.recovery_points,
+            s.recovery_recovered + s.recovery_detected,
+            "{name}: unclassified nested recovery scenarios: {s:?}"
+        );
+        // Strict persistence recovers without device writes, so it has no
+        // nested crash points; every lazy protocol must have plenty.
+        if kind == ProtocolKind::Strict {
+            assert_eq!(s.recovery_points, 0, "{name}: strict recovery wrote: {s:?}");
+        } else {
+            assert!(s.recovery_points > 0, "{name}: recovery never faulted: {s:?}");
+        }
+    }
+}
+
+#[test]
+fn eviction_writebacks_are_their_own_crash_point_class() {
+    let cfg = sweep_config();
+    let mut lazy_evictions = 0;
+    for (name, kind) in sweep_protocols() {
+        let s = run_sweep(kind, &cfg).unwrap_or_else(|e| panic!("{name}: sweep setup: {e}"));
+        assert!(s.evict_points <= s.crash_points, "{name}: class not a subset: {s:?}");
+        assert_eq!(
+            s.evict_recovered + s.evict_detected,
+            s.evict_points,
+            "{name}: unclassified eviction crash points: {s:?}"
+        );
+        assert_eq!(s.evict_silent, 0, "{name}: silent eviction outcomes: {s:?}");
+        match kind {
+            // Strict persists every line in protocol order: no line is ever
+            // dirty at eviction time, so the class must be empty.
+            ProtocolKind::Strict => {
+                assert_eq!(s.evict_points, 0, "{name}: strict had dirty evictions: {s:?}")
+            }
+            ProtocolKind::Leaf => {
+                assert!(s.evict_points > 0, "{name}: no eviction crash points: {s:?}");
+                lazy_evictions += s.evict_points;
+            }
+            _ => lazy_evictions += s.evict_points,
+        }
+    }
+    assert!(lazy_evictions > 0, "no lazy protocol produced eviction crash points");
 }
 
 #[test]

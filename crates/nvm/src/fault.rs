@@ -20,6 +20,23 @@
 
 use std::fmt;
 
+/// Protocol attribution of one device write, for crash-point
+/// classification. Most device writes are issued by the persistence
+/// protocol in its mandated order; metadata-cache eviction writebacks are
+/// not — they persist tree nodes whenever cache pressure dictates, out of
+/// protocol order, which is exactly the hazard lazy (leaf-style)
+/// persistence claims to bound. The controller tags each write with its
+/// class (see [`crate::Nvm::set_write_class`]) so sweeps can enumerate
+/// eviction-writeback crash points as their own class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum WriteClass {
+    /// A write issued by the persistence protocol in protocol order.
+    #[default]
+    Protocol,
+    /// A metadata-cache eviction writeback (out of protocol order).
+    Eviction,
+}
+
 /// Which half of a 64-byte line survives a torn write.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TornHalf {
@@ -62,6 +79,17 @@ pub trait FaultHook: fmt::Debug + Send {
     /// Faults to apply when the device actually crashes.
     fn crash_faults(&mut self) -> CrashFaults {
         CrashFaults::default()
+    }
+
+    /// Consulted by [`crate::Nvm::crash`] after [`FaultHook::crash_faults`]:
+    /// return `true` to stay armed across the power cycle. The device-write
+    /// ordinal counter restarts at zero on every crash, so a hook that
+    /// survives addresses the *next phase's* writes — typically the recovery
+    /// procedure — in a fresh coordinate system (the recovery-phase ordinal
+    /// domain). The default is `false`: single-phase plans are consumed at
+    /// the crash, exactly as before.
+    fn rearm_after_crash(&mut self) -> bool {
+        false
     }
 
     /// Clones the hook behind its box (keeps `Nvm: Clone`).
@@ -141,6 +169,67 @@ impl FaultHook for FaultPlan {
     }
 }
 
+/// A fault plan that survives power cycles: one [`FaultPlan`] per phase.
+///
+/// Phase 0 governs the mutation path. Each [`crate::Nvm::crash`] advances to
+/// the next phase with the write-ordinal counter restarted at zero, so phase
+/// 1 addresses the *recovery procedure's* device writes — the
+/// recovery-phase ordinal domain — phase 2 the re-recovery after that, and
+/// so on. After the last phase the hook disarms at the next crash, like a
+/// plain [`FaultPlan`].
+///
+/// Determinism contract: every phase is a [`FaultPlan`], so the whole
+/// multi-cycle schedule is a pure function of per-phase write ordinals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhasedPlan {
+    phases: Vec<FaultPlan>,
+    current: usize,
+}
+
+impl PhasedPlan {
+    /// A plan with one [`FaultPlan`] per power cycle, starting with the
+    /// mutation phase. An empty list never faults.
+    pub fn new(phases: Vec<FaultPlan>) -> Self {
+        PhasedPlan { phases, current: 0 }
+    }
+
+    /// The nested-sweep shape: fault the mutation path with `mutation`,
+    /// then fault the recovery that follows with `recovery`.
+    pub fn two_phase(mutation: FaultPlan, recovery: FaultPlan) -> Self {
+        Self::new(vec![mutation, recovery])
+    }
+
+    /// The phase currently armed (`None` once every phase is spent).
+    pub fn current_phase(&self) -> Option<&FaultPlan> {
+        self.phases.get(self.current)
+    }
+}
+
+impl FaultHook for PhasedPlan {
+    fn on_write(&mut self, seq: u64, addr: u64, len: usize) -> FaultAction {
+        match self.phases.get_mut(self.current) {
+            Some(p) => p.on_write(seq, addr, len),
+            None => FaultAction::Apply,
+        }
+    }
+
+    fn crash_faults(&mut self) -> CrashFaults {
+        match self.phases.get_mut(self.current) {
+            Some(p) => p.crash_faults(),
+            None => CrashFaults::default(),
+        }
+    }
+
+    fn rearm_after_crash(&mut self) -> bool {
+        self.current += 1;
+        self.current < self.phases.len()
+    }
+
+    fn box_clone(&self) -> Box<dyn FaultHook> {
+        Box::new(self.clone())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -175,5 +264,37 @@ mod tests {
         let mut p = FaultPlan::drop_tail(3);
         assert_eq!(p.on_write(0, 0, 64), FaultAction::Apply);
         assert_eq!(p.crash_faults(), CrashFaults { drop_wpq_tail: 3 });
+    }
+
+    #[test]
+    fn single_phase_plans_do_not_rearm() {
+        let mut p = FaultPlan::crash_after(0);
+        assert!(!p.rearm_after_crash());
+    }
+
+    #[test]
+    fn phased_plan_advances_one_phase_per_crash() {
+        let mut p =
+            PhasedPlan::two_phase(FaultPlan::crash_after(1), FaultPlan::crash_after(0));
+        // Phase 0: the mutation-path plan.
+        assert_eq!(p.on_write(0, 0, 64), FaultAction::Apply);
+        assert_eq!(p.on_write(1, 0, 64), FaultAction::PowerOff);
+        // Crash: the recovery phase arms, in a fresh ordinal domain.
+        assert!(p.rearm_after_crash());
+        assert_eq!(p.current_phase(), Some(&FaultPlan::crash_after(0)));
+        assert_eq!(p.on_write(0, 0, 64), FaultAction::PowerOff);
+        // Second crash: phases exhausted, the hook disarms.
+        assert!(!p.rearm_after_crash());
+        assert_eq!(p.current_phase(), None);
+        assert_eq!(p.on_write(0, 0, 64), FaultAction::Apply);
+    }
+
+    #[test]
+    fn phased_plan_crash_faults_come_from_the_current_phase() {
+        let mut p =
+            PhasedPlan::two_phase(FaultPlan::drop_tail(2), FaultPlan::count_only());
+        assert_eq!(p.crash_faults(), CrashFaults { drop_wpq_tail: 2 });
+        assert!(p.rearm_after_crash());
+        assert_eq!(p.crash_faults(), CrashFaults::default());
     }
 }

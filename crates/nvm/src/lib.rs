@@ -29,7 +29,10 @@ use std::fmt;
 
 mod fault;
 mod start_gap;
-pub use fault::{CrashFaults, CrashWriteMode, FaultAction, FaultHook, FaultPlan, TornHalf};
+pub use fault::{
+    CrashFaults, CrashWriteMode, FaultAction, FaultHook, FaultPlan, PhasedPlan, TornHalf,
+    WriteClass,
+};
 pub use start_gap::StartGap;
 
 /// Size of a memory block (cache line) in bytes.
@@ -156,6 +159,13 @@ pub struct Nvm {
     fault: Option<Box<dyn FaultHook>>,
     /// Device-write ordinals consumed since the hook was armed.
     fault_seq: u64,
+    /// Class the controller declared for writes currently being issued
+    /// (protocol-ordered vs eviction writeback); see [`Nvm::set_write_class`].
+    write_class: WriteClass,
+    /// Ordinals (current domain) consumed by eviction-class writes, recorded
+    /// while a hook is armed so sweeps can enumerate them as their own
+    /// crash-point class.
+    evict_seqs: Vec<u64>,
     /// Set once an armed hook cuts power: every access fails until
     /// [`Nvm::crash`] power-cycles the device.
     powered_off: bool,
@@ -194,6 +204,8 @@ impl Nvm {
             generation: 0,
             fault: None,
             fault_seq: 0,
+            write_class: WriteClass::Protocol,
+            evict_seqs: Vec::new(),
             powered_off: false,
             group_depth: 0,
             group_charged: false,
@@ -229,14 +241,19 @@ impl Nvm {
     /// Volatile state (caches, on-chip volatile registers) is owned by the
     /// layers above and must be cleared by them.
     ///
-    /// If a [`FaultHook`] is armed it is consumed here: its
-    /// [`FaultHook::crash_faults`] may drop the journaled write-pending-queue
-    /// tail (newest writes undone first), and the device then power-cycles —
-    /// fault state clears and accesses work again. The dirty-shutdown flag
-    /// records whether this crash interrupted in-flight work (see
+    /// If a [`FaultHook`] is armed, its [`FaultHook::crash_faults`] may drop
+    /// the journaled write-pending-queue tail (newest writes undone first),
+    /// and the device then power-cycles — accesses work again. The hook is
+    /// normally consumed here, but a multi-phase hook (see
+    /// [`fault::PhasedPlan`]) may elect to stay armed via
+    /// [`FaultHook::rearm_after_crash`]: it then governs the next power
+    /// cycle's writes with the ordinal counter restarted at zero, which is
+    /// how the recovery procedure itself gets faulted. The dirty-shutdown
+    /// flag records whether this crash interrupted in-flight work (see
     /// [`Nvm::dirty_shutdown`]).
     pub fn crash(&mut self) {
         let mut dropped = 0usize;
+        let mut rearmed: Option<Box<dyn FaultHook>> = None;
         if let Some(mut hook) = self.fault.take() {
             let faults = hook.crash_faults();
             // A torn or rejected write already landed its partial effects;
@@ -259,6 +276,9 @@ impl Nvm {
                     None => break,
                 }
             }
+            if hook.rearm_after_crash() {
+                rearmed = Some(hook);
+            }
         }
         self.dirty_shutdown = self.powered_off || dropped > 0;
         self.journal.clear();
@@ -266,7 +286,10 @@ impl Nvm {
         self.group_depth = 0;
         self.group_charged = false;
         self.powered_off = false;
+        self.fault = rearmed;
         self.fault_seq = 0;
+        self.write_class = WriteClass::Protocol;
+        self.evict_seqs.clear();
         self.generation += 1;
     }
 
@@ -297,6 +320,8 @@ impl Nvm {
     pub fn arm_fault_hook(&mut self, hook: Box<dyn FaultHook>) {
         self.fault = Some(hook);
         self.fault_seq = 0;
+        self.write_class = WriteClass::Protocol;
+        self.evict_seqs.clear();
         self.powered_off = false;
     }
 
@@ -322,9 +347,39 @@ impl Nvm {
 
     /// Device-write ordinals consumed since the hook was armed (an atomic
     /// group counts once). The crash-point coordinate system of
-    /// [`FaultPlan`].
+    /// [`FaultPlan`]. Restarts at zero on every [`Nvm::crash`], so after a
+    /// rearming crash this counts the *recovery-phase* domain.
     pub fn device_write_ordinals(&self) -> u64 {
         self.fault_seq
+    }
+
+    /// Declares the class of the writes the controller is about to issue
+    /// (sticky until changed; reset to [`WriteClass::Protocol`] on arm and
+    /// on crash). Purely observational: fault decisions never depend on it.
+    pub fn set_write_class(&mut self, class: WriteClass) {
+        self.write_class = class;
+    }
+
+    /// Ordinals in the current domain consumed by [`WriteClass::Eviction`]
+    /// writes, in consumption order. Empty unless a hook is armed.
+    pub fn eviction_write_ordinals(&self) -> &[u64] {
+        &self.evict_seqs
+    }
+
+    /// Byte-exact image of the persisted media: every backed frame's base
+    /// offset and contents, sorted, with untouched (all-zero) frames
+    /// normalised away — two devices with equal images serve identical
+    /// bytes at every address. The idempotence sweeps compare post-recovery
+    /// media states with this.
+    pub fn media_image(&self) -> Vec<(u64, Vec<u8>)> {
+        let mut frames: Vec<(u64, Vec<u8>)> = self
+            .frames
+            .iter()
+            .filter(|(_, frame)| frame.iter().any(|&b| b != 0))
+            .map(|(base, frame)| (*base, frame.to_vec()))
+            .collect();
+        frames.sort_unstable_by_key(|(base, _)| *base);
+        frames
     }
 
     /// Opens an atomic write group: until the matching [`Nvm::end_atomic`],
@@ -381,6 +436,17 @@ impl Nvm {
         } else {
             self.journal_push(vec![(addr, pre)]);
         }
+    }
+
+    /// Raw media restore used by crash modelling: rewinds `addr` to a
+    /// pre-crash image with no stats, no ordinal, and no fault-hook
+    /// interaction. Rolling back dirty cached lines models *volatility* —
+    /// bytes that never actually persisted — not device traffic, so it must
+    /// stay invisible to a multi-phase fault plan that survived the power
+    /// cycle (the recovery-phase ordinal domain starts with recovery's own
+    /// first real write, not with the model's bookkeeping).
+    pub fn rollback_bytes(&mut self, addr: u64, data: &[u8]) {
+        self.poke(addr, data);
     }
 
     /// Raw media read: no stats, no fault interaction (internal/test use).
@@ -472,6 +538,9 @@ impl Nvm {
             } else {
                 let seq = self.fault_seq;
                 self.fault_seq += 1;
+                if self.write_class == WriteClass::Eviction {
+                    self.evict_seqs.push(seq);
+                }
                 if self.group_depth > 0 {
                     self.group_charged = true;
                 }
@@ -860,6 +929,62 @@ mod tests {
         assert_eq!(nvm.device_write_ordinals(), 0, "attacks consume no ordinals");
         nvm.disarm_fault_hook();
         assert_eq!(nvm.read_block(0).unwrap()[5], 1);
+    }
+
+    #[test]
+    fn phased_hook_survives_the_crash_into_a_fresh_ordinal_domain() {
+        let mut nvm = Nvm::new(NvmConfig::gib(1));
+        nvm.arm_fault_hook(Box::new(PhasedPlan::two_phase(
+            FaultPlan::crash_after(1),
+            FaultPlan::crash_after(0),
+        )));
+        nvm.write_block(0, &[1; 64]).unwrap();
+        assert!(nvm.write_block(64, &[2; 64]).is_err(), "phase 0 crash at ordinal 1");
+        nvm.crash();
+        // The hook survived the power cycle; the ordinal domain restarted,
+        // so the recovery phase's very first write is the crash point.
+        assert!(nvm.fault_armed());
+        assert_eq!(nvm.device_write_ordinals(), 0);
+        assert!(nvm.write_block(128, &[3; 64]).is_err(), "phase 1 crash at ordinal 0");
+        nvm.crash();
+        // Phases exhausted: the hook is consumed like a plain FaultPlan.
+        assert!(!nvm.fault_armed());
+        nvm.write_block(128, &[3; 64]).unwrap();
+        assert_eq!(nvm.read_block(128).unwrap(), [3; 64]);
+    }
+
+    #[test]
+    fn eviction_class_ordinals_are_recorded_per_domain() {
+        let mut nvm = Nvm::new(NvmConfig::gib(1));
+        nvm.arm_fault_hook(Box::new(PhasedPlan::two_phase(
+            FaultPlan::count_only(),
+            FaultPlan::count_only(),
+        )));
+        nvm.write_block(0, &[1; 64]).unwrap();
+        nvm.set_write_class(WriteClass::Eviction);
+        nvm.write_block(64, &[2; 64]).unwrap();
+        nvm.write_block(128, &[3; 64]).unwrap();
+        nvm.set_write_class(WriteClass::Protocol);
+        nvm.write_block(192, &[4; 64]).unwrap();
+        assert_eq!(nvm.eviction_write_ordinals(), &[1, 2]);
+        nvm.crash();
+        // A crash starts a fresh domain: class resets, records clear.
+        assert_eq!(nvm.eviction_write_ordinals(), &[] as &[u64]);
+        nvm.write_block(0, &[5; 64]).unwrap();
+        assert_eq!(nvm.eviction_write_ordinals(), &[] as &[u64]);
+    }
+
+    #[test]
+    fn media_images_compare_byte_exactly() {
+        let mut a = Nvm::new(NvmConfig::gib(1));
+        let mut b = Nvm::new(NvmConfig::gib(1));
+        a.write_block(0x40, &[7; 64]).unwrap();
+        b.write_block(0x40, &[7; 64]).unwrap();
+        // Touching a frame with zeros must not distinguish the images.
+        b.write_block(0x9000, &[0; 64]).unwrap();
+        assert_eq!(a.media_image(), b.media_image());
+        b.write_block(0x9000, &[1; 64]).unwrap();
+        assert_ne!(a.media_image(), b.media_image());
     }
 }
 

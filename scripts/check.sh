@@ -29,12 +29,24 @@ cargo build --release --workspace || fail=1
 echo "== cargo test --workspace =="
 cargo test -q --workspace || fail=1
 
-echo "== fault sweep (crash-point exploration smoke) =="
+echo "== fault sweep (crash-point, eviction-class + idempotence smoke) =="
 # Bounded smoke by default; the sweep is exhaustive in crash points at any
-# size, so silent/boundary_deficit must be zero regardless of AMNT_FAULT_OPS.
-# Run the full acceptance sweep with AMNT_FAULT_OPS=100 (or larger).
-AMNT_FAULT_OPS="${AMNT_FAULT_OPS:-24}" \
+# size — including eviction-writeback crash points and the nested
+# recovery-fault (idempotence) pass — so silent, boundary_deficit,
+# evict_silent and idempotence_violations must be zero regardless of
+# AMNT_FAULT_OPS. Run the full acceptance sweep with AMNT_FAULT_OPS=100
+# (or larger). The artifact must also be byte-identical across AMNT_JOBS.
+sweepdir="$(mktemp -d)"
+AMNT_FAULT_OPS="${AMNT_FAULT_OPS:-24}" AMNT_JOBS=1 \
     cargo run --release -p amnt-bench --bin fault_sweep || fail=1
+cp results/fault_sweep.json "$sweepdir"/ || fail=1
+AMNT_FAULT_OPS="${AMNT_FAULT_OPS:-24}" AMNT_JOBS=2 \
+    cargo run --release -q -p amnt-bench --bin fault_sweep >/dev/null || fail=1
+if ! cmp -s "$sweepdir/fault_sweep.json" results/fault_sweep.json; then
+    echo "   fault sweep: artifact differs between AMNT_JOBS=1 and 2"
+    fail=1
+fi
+rm -rf "$sweepdir"
 
 echo "== trace smoke (sidecar determinism + observer purity) =="
 # Quick traced runs of the trace_report grid: the two sidecars must be
