@@ -67,6 +67,7 @@ impl CounterBlock {
     ///
     /// Panics if `slot >= 64`.
     pub fn minor(&self, slot: usize) -> u8 {
+        debug_assert!(slot < MINORS_PER_BLOCK);
         self.minors[slot]
     }
 
@@ -80,6 +81,7 @@ impl CounterBlock {
     ///
     /// Panics if `slot >= 64`.
     pub fn increment(&mut self, slot: usize) -> IncrementOutcome {
+        debug_assert!(slot < MINORS_PER_BLOCK);
         if self.minors[slot] >= MINOR_MAX {
             self.major = self.major.wrapping_add(1);
             self.minors = [0; MINORS_PER_BLOCK];
@@ -115,11 +117,15 @@ impl CounterBlock {
             let bit_pos = slot * 7;
             let byte = bit_pos / 8;
             let shift = bit_pos % 8;
+            debug_assert!(byte < 56);
             let lo = bytes[byte] as u16;
             let hi = if byte + 1 < 56 { bytes[byte + 1] as u16 } else { 0 };
             *minor = (((lo | (hi << 8)) >> shift) & 0x7f) as u8;
         }
-        let major = u64::from_le_bytes(bytes[56..64].try_into().expect("8 bytes"));
+        // A fold rather than a fallible slice-to-array conversion: decode
+        // runs on the recovery path, which must stay panic-free (lint R1).
+        let major =
+            bytes[56..64].iter().rev().fold(0u64, |acc, &b| (acc << 8) | u64::from(b));
         CounterBlock { major, minors }
     }
 

@@ -285,7 +285,12 @@ impl BmtGeometry {
         let mut node = self.counter_parent(counter_index);
         while node.level >= 2 {
             path.push(node);
-            node = self.parent(node).expect("level >= 2 has a parent");
+            // Level >= 2 always has a parent; the loop ends defensively
+            // instead of panicking because path walks run during recovery.
+            match self.parent(node) {
+                Some(p) => node = p,
+                None => break,
+            }
         }
         path
     }

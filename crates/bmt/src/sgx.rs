@@ -204,6 +204,7 @@ impl SgxTree {
     }
 
     fn node_addr(&self, level: usize, index: u64) -> u64 {
+        debug_assert!(level < self.level_bases.len());
         debug_assert!(index < self.level_sizes[level]);
         self.level_bases[level] + index * NODE_SIZE as u64
     }

@@ -71,7 +71,9 @@ impl BmtHasher {
 
 /// Reads slot `slot` (0..8) of a node image.
 pub fn slot_of(bytes: &NodeBytes, slot: usize) -> u64 {
-    u64::from_be_bytes(bytes[slot * 8..slot * 8 + 8].try_into().expect("8 bytes"))
+    // A fold rather than a fallible slice-to-array conversion: node slots
+    // are read on the recovery path, which must stay panic-free (lint R1).
+    bytes[slot * 8..slot * 8 + 8].iter().fold(0u64, |acc, &b| (acc << 8) | u64::from(b))
 }
 
 /// Writes slot `slot` (0..8) of a node image.

@@ -228,10 +228,10 @@ impl SetAssocCache {
     pub fn access(&mut self, addr: u64, is_write: bool) -> Access {
         self.clock += 1;
         let tag = addr >> self.set_shift;
-        let range = self.set_range(addr);
+        let set = self.set_range(addr);
         let clock = self.clock;
         let refresh = self.config.policy != ReplacementPolicy::Fifo;
-        for line in &mut self.lines[range] {
+        for line in &mut self.lines[set.start..set.end] {
             if line.valid && line.tag == tag {
                 if refresh {
                     line.stamp = clock;
@@ -336,8 +336,8 @@ impl SetAssocCache {
     /// write-through or an explicit flush). No-op when absent.
     pub fn clean(&mut self, addr: u64) {
         let tag = addr >> self.set_shift;
-        let range = self.set_range(addr);
-        for line in &mut self.lines[range] {
+        let set = self.set_range(addr);
+        for line in &mut self.lines[set.start..set.end] {
             if line.valid && line.tag == tag {
                 line.dirty = false;
             }
@@ -347,8 +347,8 @@ impl SetAssocCache {
     /// Removes the line containing `addr`, returning whether it was dirty.
     pub fn invalidate(&mut self, addr: u64) -> Option<bool> {
         let tag = addr >> self.set_shift;
-        let range = self.set_range(addr);
-        for line in &mut self.lines[range] {
+        let set = self.set_range(addr);
+        for line in &mut self.lines[set.start..set.end] {
             if line.valid && line.tag == tag {
                 line.valid = false;
                 return Some(line.dirty);

@@ -62,6 +62,7 @@ impl HistoryBuffer {
     /// movement.
     pub fn record(&mut self, region: u64) {
         if let Some(pos) = self.entries.iter().position(|e| e.region == region) {
+            debug_assert!(pos < self.entries.len());
             self.entries[pos].count = (self.entries[pos].count + 1).min(self.saturation);
             if pos != 0 && self.entries[pos].count > self.entries[0].count {
                 self.entries.swap(0, pos);
@@ -81,6 +82,7 @@ impl HistoryBuffer {
                 .min_by_key(|(_, e)| e.count)
                 .map(|(i, _)| i)
                 .unwrap_or(0);
+            debug_assert!(victim < self.entries.len());
             self.entries[victim] = entry;
         }
         // A fresh count of 1 can only beat an empty head.

@@ -130,6 +130,7 @@ impl MemoryTimeline {
     pub fn read(&mut self, now: u64, addr: u64) -> u64 {
         self.stats.reads += 1;
         let bank = self.bank_of(addr);
+        debug_assert!(bank < self.bank_free.len());
         let start = now.max(self.bank_free[bank]);
         self.stats.bank_wait_cycles += start - now;
         let done = start + self.timing.pcm_read;
@@ -145,15 +146,19 @@ impl MemoryTimeline {
         self.retire(now);
         let mut stall = 0;
         if self.inflight.len() >= self.depth {
-            let front = *self.inflight.front().expect("non-empty at capacity");
-            stall = front.saturating_sub(now);
-            self.retire(now + stall);
+            // The queue is non-empty here by the length check; if-let keeps
+            // the back-pressure path panic-free (lint R1).
+            if let Some(&front) = self.inflight.front() {
+                stall = front.saturating_sub(now);
+                self.retire(now + stall);
+            }
         }
         self.stats.queue_stall_cycles += stall;
         self.stats.writes += 1;
         *self.wear.entry(addr / 4096).or_insert(0) += 1;
         let issue = (now + stall).max(not_before);
         let bank = self.bank_of(addr);
+        debug_assert!(bank < self.bank_free.len());
         let start = issue.max(self.bank_free[bank]);
         self.stats.bank_wait_cycles += start - issue;
         let done = start + self.timing.pcm_write;

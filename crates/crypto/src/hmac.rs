@@ -93,15 +93,20 @@ impl HmacSha256 {
     /// block; the integrity tree stores eight such truncated child MACs per
     /// 64-byte node.
     pub fn mac64(&self, message: &[u8]) -> u64 {
-        let full = self.mac(message);
-        u64::from_be_bytes(full[..8].try_into().expect("8-byte prefix"))
+        be_u64_prefix(&self.mac(message))
     }
 
     /// Like [`Self::mac64`] for a multi-part message.
     pub fn mac64_parts(&self, parts: &[&[u8]]) -> u64 {
-        let full = self.mac_parts(parts);
-        u64::from_be_bytes(full[..8].try_into().expect("8-byte prefix"))
+        be_u64_prefix(&self.mac_parts(parts))
     }
+}
+
+/// Big-endian u64 from a digest's first 8 bytes. A fold rather than a
+/// fallible slice-to-array conversion: MACs are verified on the recovery
+/// path, which must stay panic-free (lint R1).
+fn be_u64_prefix(digest: &[u8]) -> u64 {
+    digest.iter().take(8).fold(0u64, |acc, &b| (acc << 8) | u64::from(b))
 }
 
 #[cfg(test)]

@@ -11,12 +11,19 @@
 //!    iteration order.
 //!
 //! The scanner is a comment- and string-aware lexer (see [`lexer`]) — it
-//! is *not* a Rust parser, and the rules are deliberately conservative
-//! pattern checks scoped by path (see [`rules::RULES`] and
-//! `cargo run -p amnt-lint -- --explain R3`). Pre-existing or
-//! intentionally-accepted findings live in the checked-in
-//! `lint-baseline.txt` (see [`baseline`]); the gate fails only on *new*
-//! findings.
+//! is *not* a full Rust parser. Two analysis layers run over it:
+//!
+//! * **Per-file rules** — conservative pattern checks scoped by path
+//!   (see [`rules::RULES`] and `cargo run -p amnt-lint -- --explain R3`).
+//! * **Interprocedural rules** — a fn-item [`parse`] layer feeds a
+//!   workspace [`callgraph`], and [`dataflow`] runs boolean fixpoints
+//!   over it: crash-path panic reachability (R1), persist/fence pairing
+//!   across caller paths (R3), and atomic-group bracketing (R9). Use
+//!   `--dump-callgraph` to see how calls resolved.
+//!
+//! Pre-existing or intentionally-accepted findings live in the
+//! checked-in `lint-baseline.txt` (see [`baseline`]); the gate fails
+//! only on *new* findings.
 //!
 //! ```
 //! use amnt_lint::lint_source;
@@ -34,15 +41,42 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod callgraph;
+pub mod dataflow;
+pub mod json;
 pub mod lexer;
+pub mod parse;
 pub mod rules;
 pub mod walk;
 
-pub use rules::{lint_source, rule_info, Finding, RuleInfo, Severity, RULES};
+pub use rules::{rule_info, Finding, RuleInfo, Severity, RULES};
 pub use walk::{collect_files, find_root};
 
 use std::io;
 use std::path::Path;
+
+/// Lints a corpus of `(repo-relative path, content)` files as one unit:
+/// the per-file rules on each file, then the interprocedural rules over
+/// the corpus's call graph. Findings are sorted by path/line/rule.
+pub fn lint_corpus(files: &[(String, String)]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (rel, content) in files {
+        findings.extend(rules::per_file_findings(rel, content));
+    }
+    findings.extend(dataflow::interprocedural_findings(files));
+    findings.sort_by(|a, b| {
+        (&a.path, a.line, a.rule, &a.message).cmp(&(&b.path, b.line, b.rule, &b.message))
+    });
+    findings
+}
+
+/// Lints one file's content under its repo-relative `path` — a
+/// single-file corpus, so the interprocedural rules see no callers and
+/// reduce to their leaf cases (an unfenced R3 mutation with no callers is
+/// flagged, exactly the old per-function behavior).
+pub fn lint_source(path: &str, content: &str) -> Vec<Finding> {
+    lint_corpus(&[(path.to_string(), content.to_string())])
+}
 
 /// Lints every scanned file under the workspace `root`, returning all raw
 /// findings (baseline not yet applied), sorted by path/line/rule.
@@ -51,13 +85,19 @@ use std::path::Path;
 ///
 /// Propagates filesystem errors from discovery or reading.
 pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
-    let mut findings = Vec::new();
+    Ok(lint_corpus(&read_corpus(root)?))
+}
+
+/// Reads every scanned file under `root` into a `(relative path,
+/// content)` corpus, for [`lint_corpus`] or a call-graph dump.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from discovery or reading.
+pub fn read_corpus(root: &Path) -> io::Result<Vec<(String, String)>> {
+    let mut files = Vec::new();
     for (rel, abs) in collect_files(root)? {
-        let content = std::fs::read_to_string(&abs)?;
-        findings.extend(lint_source(&rel, &content));
+        files.push((rel, std::fs::read_to_string(&abs)?));
     }
-    findings.sort_by(|a, b| {
-        (&a.path, a.line, a.rule, &a.message).cmp(&(&b.path, b.line, b.rule, &b.message))
-    });
-    Ok(findings)
+    Ok(files)
 }

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! amnt-lint [--root DIR] [--baseline FILE] [--write-baseline]
+//!           [--json FILE] [--dump-callgraph]
 //!           [--explain RULE_ID] [--list-rules]
 //! ```
 //!
@@ -10,7 +11,8 @@
 
 #![forbid(unsafe_code)]
 
-use amnt_lint::{baseline, find_root, lint_workspace, rule_info, RULES};
+use amnt_lint::{baseline, callgraph::CallGraph, find_root, json, lint_corpus, parse, read_corpus,
+    rule_info, RULES};
 use std::path::PathBuf;
 
 fn main() {
@@ -20,7 +22,9 @@ fn main() {
 fn run(args: Vec<String>) -> i32 {
     let mut root: Option<PathBuf> = None;
     let mut baseline_path: Option<PathBuf> = None;
+    let mut json_path: Option<PathBuf> = None;
     let mut write_baseline = false;
+    let mut dump_callgraph = false;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -32,7 +36,12 @@ fn run(args: Vec<String>) -> i32 {
                 Some(v) => baseline_path = Some(PathBuf::from(v)),
                 None => return usage("--baseline needs a file"),
             },
+            "--json" => match it.next() {
+                Some(v) => json_path = Some(PathBuf::from(v)),
+                None => return usage("--json needs a file"),
+            },
             "--write-baseline" => write_baseline = true,
+            "--dump-callgraph" => dump_callgraph = true,
             "--list-rules" => {
                 for r in RULES {
                     println!("{} · {} · {}", r.id, r.severity, r.summary);
@@ -45,13 +54,14 @@ fn run(args: Vec<String>) -> i32 {
                         println!("{} ({}): {}\n\n{}", r.id, r.severity, r.summary, r.explanation);
                         0
                     }
-                    None => usage("--explain needs a rule id (R1..R8)"),
+                    None => usage("--explain needs a rule id (R1..R9)"),
                 };
             }
             "--help" | "-h" => {
                 println!(
                     "amnt-lint: workspace crash-path and determinism gate\n\n\
                      usage: amnt-lint [--root DIR] [--baseline FILE] [--write-baseline]\n\
+                     \x20                [--json FILE] [--dump-callgraph]\n\
                      \x20                [--explain RULE_ID] [--list-rules]"
                 );
                 return 0;
@@ -71,13 +81,24 @@ fn run(args: Vec<String>) -> i32 {
         None => return usage("no workspace root found; pass --root"),
     };
 
-    let findings = match lint_workspace(&root) {
-        Ok(f) => f,
+    let corpus = match read_corpus(&root) {
+        Ok(c) => c,
         Err(e) => {
             eprintln!("amnt-lint: scan failed: {e}");
             return 2;
         }
     };
+
+    if dump_callgraph {
+        let mut items = Vec::new();
+        for (rel, content) in &corpus {
+            items.extend(parse::parse_file(rel, content));
+        }
+        print!("{}", CallGraph::build(items).dump());
+        return 0;
+    }
+
+    let findings = lint_corpus(&corpus);
 
     let baseline_path = baseline_path.unwrap_or_else(|| root.join("lint-baseline.txt"));
     if write_baseline {
@@ -102,6 +123,18 @@ fn run(args: Vec<String>) -> i32 {
         }
     };
     let (fresh, suppressed, stale) = baseline::apply(&findings, &allow);
+
+    if let Some(path) = json_path {
+        let written = match path.parent() {
+            Some(dir) if !dir.as_os_str().is_empty() => std::fs::create_dir_all(dir)
+                .and_then(|()| std::fs::write(&path, json::render(&fresh, suppressed, &stale))),
+            _ => std::fs::write(&path, json::render(&fresh, suppressed, &stale)),
+        };
+        if let Err(e) = written {
+            eprintln!("amnt-lint: cannot write {}: {e}", path.display());
+            return 2;
+        }
+    }
 
     for f in &fresh {
         println!("{f}");

@@ -1,13 +1,19 @@
-//! The eight workspace rules (R1–R8) and the per-file rule driver.
+//! The nine workspace rules (R1–R9) and the per-file rule driver.
 //!
-//! Every rule works on the masked source from [`crate::lexer`] (comments
-//! and string literals blanked), except R6, which scans the complementary
-//! *comment* mask because to-do markers live in comments. Rule scoping is
-//! path-based, so tests can exercise rules by handing [`lint_source`] a
-//! fabricated repo-relative path.
+//! Every per-file rule works on the masked source from [`crate::lexer`]
+//! (comments and string literals blanked), except R6, which scans the
+//! complementary *comment* mask because to-do markers live in comments.
+//! Rule scoping is path-based, so tests can exercise rules by handing
+//! [`crate::lint_source`] a fabricated repo-relative path.
+//!
+//! Three rules are *interprocedural* and live in [`crate::dataflow`],
+//! which runs over the whole corpus at once: R1's reachability extension,
+//! R3 (persist/fence pairing across caller paths), and R9 (atomic-group
+//! bracketing). This module keeps their catalog entries and the shared
+//! scope/token constants.
 
 use crate::lexer::{
-    cfg_test_ranges, comments, fn_spans, is_ident_byte, line_of, line_starts, mask,
+    cfg_test_ranges, comments, is_ident_byte, line_of, line_starts, mask,
     token_offsets,
 };
 use std::fmt;
@@ -39,7 +45,7 @@ pub struct Finding {
     pub path: String,
     /// 1-indexed line.
     pub line: usize,
-    /// Rule id ("R1".."R8").
+    /// Rule id ("R1".."R9").
     pub rule: &'static str,
     /// Rule severity.
     pub severity: Severity,
@@ -64,7 +70,7 @@ impl fmt::Display for Finding {
 /// Static description of one rule, for `--list-rules` and `--explain`.
 #[derive(Debug, Clone, Copy)]
 pub struct RuleInfo {
-    /// Rule id ("R1".."R8").
+    /// Rule id ("R1".."R9").
     pub id: &'static str,
     /// Rule severity.
     pub severity: Severity,
@@ -75,22 +81,32 @@ pub struct RuleInfo {
 }
 
 /// All rules, in id order.
-pub const RULES: [RuleInfo; 8] = [
+pub const RULES: [RuleInfo; 9] = [
     RuleInfo {
         id: "R1",
         severity: Severity::Error,
-        summary: "no unwrap/expect/panic/unreachable in crash-critical modules",
+        summary: "no panics in, or reachable from, the crash/recovery path",
         explanation: "\
 The protocol engines, the recovery engine, the controller, and the hybrid
 mapper run on the crash/recovery path: a panic there is indistinguishable
 from the very data-loss event the system exists to survive, and it skips
 the typed IntegrityError/RecoveryError reporting the callers rely on.
-Scope: crates/core/src/protocol/, crates/core/src/recovery.rs,
-crates/core/src/controller.rs, crates/core/src/hybrid.rs — non-test code
-only (#[cfg(test)] items are exempt).
+Two layers:
+  1. Per-file: unwrap/expect/panic!/unreachable! anywhere under
+     crates/core/src/protocol/, crates/core/src/recovery.rs,
+     crates/core/src/controller.rs, crates/core/src/hybrid.rs.
+  2. Reachability: any function transitively callable from a
+     recover/crash/dirty_shutdown entry point in crates/core or
+     crates/nvm — whatever file it lives in — must be free of the same
+     four patterns and of unguarded bare-identifier indexing (`buf[i]`
+     with no visible bound on `i`). Ambiguous calls count as reachable
+     (over-approximation), so uncertainty never hides a panic.
+Non-test code only (#[cfg(test)] items are exempt).
 Remedy: return IntegrityError / RecoveryError (add a variant if none
 fits); for infallible slice-to-array conversions prefer explicit
-fold/indexing helpers over .try_into().expect(...).",
+fold/indexing helpers over .try_into().expect(...); bound-check
+subscripts (a debug_assert! of the bound also satisfies the guard
+heuristic, but prefer a real check on the crash path).",
     },
     RuleInfo {
         id: "R2",
@@ -113,20 +129,26 @@ result, a statistic, or an eviction/prune decision.",
     RuleInfo {
         id: "R3",
         severity: Severity::Error,
-        summary: "persistent-metadata mutation without enqueue/fence in the same function",
+        summary: "persistent-metadata mutation must reach an enqueue/fence on every caller path",
         explanation: "\
 Protocol code that mutates persistent metadata (raw NVM writes via
-write_block_untimed / write_bytes_untimed / write_u64) must, in the same
-function, either order the mutation through the write-queue timeline
-(timeline.write / timeline.reset), snapshot it for rollback
-(snapshot_before_lazy_update), or mark it durable (mark_persisted).
+write_block_untimed / write_bytes_untimed / write_u64) must reach — in
+the same protocol step — a durability action: the write-queue timeline
+(timeline.write / timeline.reset), a rollback snapshot
+(snapshot_before_lazy_update), or a persist marker (mark_persisted).
 Otherwise a crash between the mutation and whatever later fences it can
 strand metadata that recovery never learns about.
-Scope: crates/core/src/protocol/, crates/core/src/controller.rs.
-Remedy: pair the mutation with its durability action in one function, or
-hoist both into the caller so the pairing is visible; if the pairing is
-genuinely cross-function, baseline it with a comment in
-lint-baseline.txt (and see ROADMAP: cross-function R3).",
+The check is interprocedural: a mutation is accepted when the function
+itself fences (the leaf case), when one of its callees does, or when
+*every* caller path fences after the call. Unresolved `self.`-method
+calls are assumed to fence (under-approximation), so call-graph
+uncertainty never fails the gate falsely; `--dump-callgraph` shows what
+resolution decided.
+Scope: mutations in crates/core/src/protocol/ and
+crates/core/src/controller.rs; caller paths may run through any crate.
+Remedy: pair the mutation with its durability action in one function
+where possible; a genuinely cross-function pairing is now accepted as
+long as every caller path fences.",
     },
     RuleInfo {
         id: "R4",
@@ -200,6 +222,29 @@ controller's Tracer (a counter or instant event), or return it as data;
 if it is operator output, it belongs in a binary under src/bin/ or
 crates/bench.",
     },
+    RuleInfo {
+        id: "R9",
+        severity: Severity::Error,
+        summary: "begin_atomic must be matched by end_atomic on every path, interprocedurally",
+        explanation: "\
+The NVM device's atomic group (begin_atomic .. end_atomic) defers
+visibility of enclosed writes until the group commits; a group left open
+silently swallows every later write into a bracket that never commits,
+which a crash then discards wholesale. Two hazards:
+  1. Early exit: a `?` or `return` between begin_atomic and the first
+     point the group can close (a local end_atomic, a call into a
+     function that transitively ends the group, or an unresolved
+     `self.`-call) leaks the group open on that path.
+  2. Unmatched open: a begin_atomic with no closing event at all is
+     accepted only if every caller path ends the group after the call
+     (checked to a fixpoint through the call graph); otherwise flagged.
+Unresolved `self.`-calls are assumed to close (under-approximation, same
+direction as R3).
+Scope: all scanned non-test code.
+Remedy: close the group before every exit (match on the Result, end the
+group in both arms, then propagate), or document the caller-side close by
+keeping it visible in the direct caller.",
+    },
 ];
 
 /// Looks up one rule's metadata by id (case-insensitive).
@@ -207,8 +252,10 @@ pub fn rule_info(id: &str) -> Option<&'static RuleInfo> {
     RULES.iter().find(|r| r.id.eq_ignore_ascii_case(id))
 }
 
-/// Crash-critical scope for R1.
-const R1_SCOPE: [&str; 4] = [
+/// Crash-critical scope for R1's per-file layer (the reachability layer
+/// in [`crate::dataflow`] skips these files' panic patterns to avoid
+/// duplicate findings, but still applies the indexing check).
+pub(crate) const R1_SCOPE: [&str; 4] = [
     "crates/core/src/protocol/",
     "crates/core/src/recovery.rs",
     "crates/core/src/controller.rs",
@@ -220,8 +267,10 @@ const R1_SCOPE: [&str; 4] = [
 const R2_SCOPE: [&str; 4] =
     ["crates/core/src/", "crates/sim/src/", "crates/workloads/src/", "crates/trace/src/"];
 
-/// Persist/fence-pairing scope for R3.
-const R3_SCOPE: [&str; 2] = ["crates/core/src/protocol/", "crates/core/src/controller.rs"];
+/// Persist/fence-pairing scope for R3 (where *mutations* are policed;
+/// fences may be found on caller paths in any crate).
+pub(crate) const R3_SCOPE: [&str; 2] =
+    ["crates/core/src/protocol/", "crates/core/src/controller.rs"];
 
 /// Engine-crate scope for R8 (print macros). `src/bin/` subtrees are
 /// exempt — binaries own their stdout.
@@ -229,16 +278,18 @@ const R8_SCOPE: [&str; 4] =
     ["crates/core/src/", "crates/sim/src/", "crates/cache/src/", "crates/nvm/src/"];
 
 /// Raw-NVM mutation entry points (R3).
-const R3_MUTATIONS: [&str; 3] = [".write_block_untimed(", ".write_bytes_untimed(", ".write_u64("];
+pub(crate) const R3_MUTATIONS: [&str; 3] =
+    [".write_block_untimed(", ".write_bytes_untimed(", ".write_u64("];
 
 /// Durability/ordering actions that discharge an R3 mutation.
-const R3_FENCES: [&str; 4] =
+pub(crate) const R3_FENCES: [&str; 4] =
     ["timeline.write(", "timeline.reset(", "snapshot_before_lazy_update(", "mark_persisted("];
 
-/// Lints one file's content under its repo-relative `path` (forward
-/// slashes). The path drives rule scoping, so fixture tests can fabricate
-/// paths like `crates/core/src/protocol/fake.rs`.
-pub fn lint_source(path: &str, content: &str) -> Vec<Finding> {
+/// Runs the per-file rules on one file's content under its repo-relative
+/// `path` (forward slashes). The path drives rule scoping. The
+/// interprocedural rules (R1's reachability layer, R3, R9) are *not* run
+/// here — [`crate::lint_corpus`] layers them on top.
+pub(crate) fn per_file_findings(path: &str, content: &str) -> Vec<Finding> {
     let masked = mask(content);
     let starts = line_starts(&masked);
     let test_ranges = cfg_test_ranges(&masked);
@@ -257,7 +308,7 @@ pub fn lint_source(path: &str, content: &str) -> Vec<Finding> {
             for at in substr_offsets(&masked, pat) {
                 let line = line_of(&starts, at);
                 if !in_test(line) {
-                    findings.push(mk(path, line, "R1", msg));
+                    findings.push(mk_finding(path, line, "R1", msg));
                 }
             }
         }
@@ -274,14 +325,14 @@ pub fn lint_source(path: &str, content: &str) -> Vec<Finding> {
             for at in token_offsets(&masked, tok) {
                 let line = line_of(&starts, at);
                 if !in_test(line) {
-                    findings.push(mk(path, line, "R2", msg));
+                    findings.push(mk_finding(path, line, "R2", msg));
                 }
             }
         }
         for (ident, at) in hashmap_iterations(&masked) {
             let line = line_of(&starts, at);
             if !in_test(line) {
-                findings.push(mk(
+                findings.push(mk_finding(
                     path,
                     line,
                     "R2",
@@ -293,32 +344,9 @@ pub fn lint_source(path: &str, content: &str) -> Vec<Finding> {
         }
     }
 
-    // R3: persist/fence pairing.
-    if R3_SCOPE.iter().any(|s| path.starts_with(s)) {
-        for span in fn_spans(&masked) {
-            let body = &masked[span.start..span.end];
-            let first_mutation =
-                R3_MUTATIONS.iter().filter_map(|m| body.find(m)).min();
-            if let Some(rel) = first_mutation {
-                let line = line_of(&starts, span.start + rel);
-                if in_test(line) {
-                    continue;
-                }
-                let fenced = R3_FENCES.iter().any(|f| body.contains(f));
-                if !fenced {
-                    findings.push(mk(
-                        path,
-                        line,
-                        "R3",
-                        &format!(
-                            "fn `{}` writes persistent metadata with no write-queue enqueue, snapshot, or persist marker in the same function",
-                            span.name
-                        ),
-                    ));
-                }
-            }
-        }
-    }
+    // R3 moved to crate::dataflow — fence pairing is judged over the call
+    // graph now, and a single-file corpus reproduces the old leaf-local
+    // behavior (no callers to rescue an unfenced mutation).
 
     // R4: crate-root hygiene attributes.
     if path.ends_with("src/lib.rs") {
@@ -327,7 +355,7 @@ pub fn lint_source(path: &str, content: &str) -> Vec<Finding> {
             ("#![warn(missing_docs)]", "missing `#![warn(missing_docs)]` at crate root"),
         ] {
             if !masked.contains(attr) {
-                findings.push(mk(path, 1, "R4", what));
+                findings.push(mk_finding(path, 1, "R4", what));
             }
         }
     }
@@ -337,7 +365,7 @@ pub fn lint_source(path: &str, content: &str) -> Vec<Finding> {
         for (ident, at) in truncating_time_casts(&masked) {
             let line = line_of(&starts, at);
             if !in_test(line) {
-                findings.push(mk(
+                findings.push(mk_finding(
                     path,
                     line,
                     "R5",
@@ -360,7 +388,7 @@ pub fn lint_source(path: &str, content: &str) -> Vec<Finding> {
             for at in substr_offsets(&masked, pat) {
                 let line = line_of(&starts, at);
                 if !in_test(line) {
-                    findings.push(mk(path, line, "R7", msg));
+                    findings.push(mk_finding(path, line, "R7", msg));
                 }
             }
         }
@@ -382,7 +410,7 @@ pub fn lint_source(path: &str, content: &str) -> Vec<Finding> {
                 }
                 let line = line_of(&starts, at);
                 if !in_test(line) {
-                    findings.push(mk(path, line, "R8", msg));
+                    findings.push(mk_finding(path, line, "R8", msg));
                 }
             }
         }
@@ -400,7 +428,7 @@ pub fn lint_source(path: &str, content: &str) -> Vec<Finding> {
             })
         });
         if has_marker && !has_issue_tag(raw) {
-            findings.push(mk(
+            findings.push(mk_finding(
                 path,
                 idx + 1,
                 "R6",
@@ -413,7 +441,7 @@ pub fn lint_source(path: &str, content: &str) -> Vec<Finding> {
     findings
 }
 
-fn mk(path: &str, line: usize, rule: &'static str, message: &str) -> Finding {
+pub(crate) fn mk_finding(path: &str, line: usize, rule: &'static str, message: &str) -> Finding {
     let severity = rule_info(rule).map(|r| r.severity).unwrap_or(Severity::Error);
     Finding { path: path.to_string(), line, rule, severity, message: message.to_string() }
 }
@@ -424,27 +452,76 @@ fn substr_offsets(hay: &str, needle: &str) -> Vec<usize> {
     hay.match_indices(needle).map(|(at, _)| at).collect()
 }
 
-/// Identifiers declared (or bound) as `HashMap` in this file, paired with
-/// each offset where they are iterated. A file-scope heuristic: an ident
-/// declared `x: HashMap<..>`, `x: Option<HashMap<..>`, or
-/// `x = HashMap::new()` is tracked, bare rebinds of a tracked ident
-/// (`let p = &self.x;`, `let q = p;`) are followed to a fixed point, and
-/// `x.iter()` / `x.keys()` / `x.values()` / `x.values_mut()` /
-/// `x.drain(` / `x.into_iter()` / `for .. in &x` anywhere in the file is
-/// flagged for any tracked name.
+/// Method suffixes that iterate a map (R2).
+const ITER_SUFFIXES: [&str; 9] = [
+    ".iter()",
+    ".iter_mut()",
+    ".keys()",
+    ".values()",
+    ".values_mut()",
+    ".drain(",
+    ".into_iter()",
+    ".into_keys()",
+    ".into_values()",
+];
+
+/// What a `let` binding does to its name's HashMap taint (R2).
+enum BindKind {
+    /// Bare rebind of another name (`let p = &mut self.map;`): the alias
+    /// inherits whatever the source name's taint is *at this point*.
+    Alias(String),
+    /// RHS mentions `HashMap` (constructor or ascription): tainted.
+    Tainted,
+    /// Anything else (`m.len()`, a comparison, a different type): the
+    /// binding shadows the name and kills any earlier taint.
+    Clean,
+}
+
+/// One `let` binding: where the bound name starts, and what it does.
+struct Bind {
+    offset: usize,
+    name: String,
+    kind: BindKind,
+}
+
+/// Identifiers whose value is a std HashMap *at the point of iteration*,
+/// paired with each offset where they are iterated.
+///
+/// Position-aware heuristic in three parts: names declared as `HashMap`
+/// anywhere (`x: HashMap<..>` ascriptions and struct fields) are tainted
+/// file-wide; `let` bindings are classified in textual order as bare
+/// aliases (`let p = &mut self.map;` — taint follows the source),
+/// tainting (`= HashMap::new()`), or clean (a shadowing rebind like
+/// `let m = m.len();` *kills* the taint from that point on); each
+/// iteration site (`x.iter()`, `for .. in &x`, ...) then resolves its
+/// ident through the nearest preceding binding chain.
 fn hashmap_iterations(masked: &str) -> Vec<(String, usize)> {
+    let declared = declared_hashmap_names(masked);
+    let binds = let_bindings(masked);
+    let mut hits: Vec<(String, usize)> = iteration_sites(masked)
+        .into_iter()
+        .filter(|(ident, at)| is_tainted(&declared, &binds, ident, *at))
+        .collect();
+    hits.sort_by_key(|(_, at)| *at);
+    hits.dedup();
+    hits
+}
+
+/// Names declared with a `HashMap` type: `x: HashMap<..>`,
+/// `x: Option<HashMap<..>>`, struct fields, fn params. These taint the
+/// name file-wide (fields have no binding position to track).
+fn declared_hashmap_names(masked: &str) -> Vec<String> {
     let bytes = masked.as_bytes();
     let mut idents: Vec<String> = Vec::new();
     for (at, _) in masked.match_indices("HashMap") {
-        // Walk back over `Option<`-style wrappers to the `:` or `=` that
-        // binds this type/constructor to a name.
+        // Walk back over `Option<`-style wrappers to the `:` that binds
+        // this type to a name (`::` is path syntax, not a declaration —
+        // constructor RHSes are classified by `let_bindings` instead).
         let mut i = at;
         while i > 0 {
             let b = bytes[i - 1];
-            if b == b':' || b == b'=' {
-                // `::` is path syntax (HashMap::new() on the rhs of a
-                // binding we already caught via `=`), not a declaration.
-                if b == b':' && i >= 2 && bytes[i - 2] == b':' {
+            if b == b':' {
+                if i >= 2 && bytes[i - 2] == b':' {
                     break;
                 }
                 let mut j = i - 1;
@@ -470,83 +547,134 @@ fn hashmap_iterations(masked: &str) -> Vec<(String, usize)> {
             break;
         }
     }
-    // Alias tracking to a fixed point: `let p = &self.map;` (or `= map;`,
-    // `= &mut map;`) rebinds a tracked map under a new name, so iterating
-    // the alias is iterating the map. Only bare-rebind RHSes count — a
-    // method call on the rhs (`map.len();`) yields something else entirely.
-    let mut next = 0;
-    while next < idents.len() {
-        let ident = idents[next].clone();
-        next += 1;
-        for at in token_offsets(masked, &ident) {
-            // The RHS must be the bare map: nothing but `;` after the name.
-            if !masked[at + ident.len()..].trim_start().starts_with(';') {
-                continue;
+    idents
+}
+
+/// Every `let [mut] name [: Type] = rhs;` in the file, in textual order.
+fn let_bindings(masked: &str) -> Vec<Bind> {
+    let bytes = masked.as_bytes();
+    let mut out = Vec::new();
+    for at in token_offsets(masked, "let") {
+        let mut i = at + 3;
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if masked[i..].starts_with("mut") && bytes.get(i + 3).is_some_and(|b| b.is_ascii_whitespace())
+        {
+            i += 4;
+            while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+                i += 1;
             }
-            // Walk back over an optional `self.` owner and `&` / `&mut `.
-            let mut i = at;
-            if masked[..i].ends_with("self.") {
-                i -= 5;
+        }
+        let name_start = i;
+        while i < bytes.len() && is_ident_byte(bytes[i]) {
+            i += 1;
+        }
+        if i == name_start {
+            continue; // destructuring pattern, not a plain name
+        }
+        let name = masked[name_start..i].to_string();
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if bytes.get(i) == Some(&b':') {
+            // Type ascription: skip to the `=` (types carry no `=`). A
+            // `(`-follower means this was `if let Some(x)`-style, which
+            // the name read above already rejected.
+            while i < bytes.len() && bytes[i] != b'=' && bytes[i] != b';' {
+                i += 1;
             }
-            if masked[..i].ends_with("&mut ") {
-                i -= 5;
-            } else if masked[..i].ends_with('&') {
-                i -= 1;
+        }
+        if bytes.get(i) != Some(&b'=') || bytes.get(i + 1) == Some(&b'=') {
+            continue;
+        }
+        let rhs_start = i + 1;
+        let rhs_end = masked[rhs_start..].find(';').map_or(masked.len(), |p| rhs_start + p);
+        out.push(Bind {
+            offset: name_start,
+            name,
+            kind: classify_rhs(masked[rhs_start..rhs_end].trim()),
+        });
+    }
+    out
+}
+
+/// Classifies a `let` RHS for taint purposes. A bare rebind strips an
+/// optional `&` / `&mut ` and `self.` owner; anything left that is a pure
+/// identifier aliases that name.
+fn classify_rhs(rhs: &str) -> BindKind {
+    let mut r = rhs.strip_prefix('&').unwrap_or(rhs).trim_start();
+    r = r.strip_prefix("mut ").unwrap_or(r).trim_start();
+    r = r.strip_prefix("self.").unwrap_or(r);
+    if !r.is_empty()
+        && r.bytes().all(is_ident_byte)
+        && !r.as_bytes()[0].is_ascii_digit()
+        && r != "mut"
+    {
+        return BindKind::Alias(r.to_string());
+    }
+    if rhs.contains("HashMap") {
+        return BindKind::Tainted;
+    }
+    BindKind::Clean
+}
+
+/// Offsets where some identifier is iterated: `x.iter()`-style method
+/// suffixes and `for .. in &x` loops. Returns `(ident, ident offset)`.
+fn iteration_sites(masked: &str) -> Vec<(String, usize)> {
+    let bytes = masked.as_bytes();
+    let mut sites = Vec::new();
+    for pat in ITER_SUFFIXES {
+        for (pos, _) in masked.match_indices(pat) {
+            let mut j = pos;
+            while j > 0 && is_ident_byte(bytes[j - 1]) {
+                j -= 1;
             }
-            while i > 0 && bytes[i - 1].is_ascii_whitespace() {
-                i -= 1;
-            }
-            if i == 0 || bytes[i - 1] != b'=' {
-                continue;
-            }
-            i -= 1;
-            // `==`, `!=`, `<=`, `+=`, … are comparisons or compound
-            // assignments, not rebinds.
-            let op = b"=!<>+-*/%^|&";
-            if i > 0 && op.contains(&bytes[i - 1]) {
-                continue;
-            }
-            while i > 0 && bytes[i - 1].is_ascii_whitespace() {
-                i -= 1;
-            }
-            let end = i;
-            while i > 0 && is_ident_byte(bytes[i - 1]) {
-                i -= 1;
-            }
-            if i == end {
-                continue;
-            }
-            let name = masked[i..end].to_string();
-            if name != "mut" && !idents.contains(&name) {
-                idents.push(name);
+            if j < pos && !bytes[j].is_ascii_digit() {
+                sites.push((masked[j..pos].to_string(), j));
             }
         }
     }
-    let mut hits = Vec::new();
-    for ident in &idents {
-        for at in token_offsets(masked, ident) {
-            let rest = &masked[at + ident.len()..];
-            let iterating = [
-                ".iter()",
-                ".iter_mut()",
-                ".keys()",
-                ".values()",
-                ".values_mut()",
-                ".drain(",
-                ".into_iter()",
-                ".into_keys()",
-                ".into_values()",
-            ]
+    for (pos, _) in masked.match_indices("in &") {
+        let mut j = pos + 4;
+        if masked[j..].starts_with("mut ") {
+            j += 4;
+        }
+        let start = j;
+        while j < bytes.len() && is_ident_byte(bytes[j]) {
+            j += 1;
+        }
+        if j > start && !bytes[start].is_ascii_digit() {
+            sites.push((masked[start..j].to_string(), start));
+        }
+    }
+    sites
+}
+
+/// Resolves `name`'s taint at offset `at` through the binding chain:
+/// nearest preceding binding wins; aliases recurse into their source at
+/// the alias's own position (offsets strictly decrease, so this
+/// terminates); no binding falls back to the file-wide declared set.
+fn is_tainted(declared: &[String], binds: &[Bind], name: &str, at: usize) -> bool {
+    let mut name = name.to_string();
+    let mut at = at;
+    loop {
+        let nearest = binds
             .iter()
-            .any(|m| rest.starts_with(m));
-            let for_loop = at >= 4 && masked[..at].ends_with("in &")
-                || at >= 8 && masked[..at].ends_with("in &mut ");
-            if iterating || for_loop {
-                hits.push((ident.clone(), at));
-            }
+            .filter(|b| b.name == name && b.offset < at)
+            .max_by_key(|b| b.offset);
+        match nearest {
+            None => return declared.contains(&name),
+            Some(b) => match &b.kind {
+                BindKind::Tainted => return true,
+                BindKind::Clean => return false,
+                BindKind::Alias(src) => {
+                    name = src.clone();
+                    at = b.offset;
+                }
+            },
         }
     }
-    hits
 }
 
 /// Occurrences of `<time-ish ident> as <narrow int>` in masked source.
@@ -610,15 +738,20 @@ mod tests {
     #[test]
     fn rule_table_is_consistent() {
         let ids: Vec<&str> = RULES.iter().map(|r| r.id).collect();
-        assert_eq!(ids, vec!["R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8"]);
+        assert_eq!(ids, vec!["R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9"]);
         assert!(rule_info("r3").is_some());
-        assert!(rule_info("r8").is_some());
-        assert!(rule_info("R9").is_none());
+        assert!(rule_info("r9").is_some());
+        assert!(rule_info("R10").is_none());
+        // The cross-function R3 ROADMAP item is closed; no explanation may
+        // still point at it as future work.
+        for r in RULES {
+            assert!(!r.explanation.contains("ROADMAP"), "{} still defers to ROADMAP", r.id);
+        }
     }
 
     #[test]
     fn finding_key_drops_the_line() {
-        let f = mk("a/b.rs", 42, "R1", "msg");
+        let f = mk_finding("a/b.rs", 42, "R1", "msg");
         assert_eq!(f.key(), "a/b.rs · R1 · msg");
         assert_eq!(format!("{f}"), "a/b.rs:42 · R1 · error · msg");
     }
@@ -643,6 +776,7 @@ mod tests {
     fn hashmap_alias_rebinding_is_followed() {
         // Direct alias, alias-of-alias, and a `self.`-owned field rebind
         // all inherit the HashMap taint; iterating any of them fires.
+        // Hits come back in file order.
         let src = "struct S { map: HashMap<u64, u8> }\n\
                    let p = &self.map;\n\
                    let q = p;\n\
@@ -650,7 +784,35 @@ mod tests {
                    p.iter();\n";
         let hits = hashmap_iterations(&mask(src));
         let names: Vec<&str> = hits.iter().map(|(n, _)| n.as_str()).collect();
-        assert_eq!(names, vec!["p", "q"], "{hits:?}");
+        assert_eq!(names, vec!["q", "p"], "{hits:?}");
+    }
+
+    #[test]
+    fn hashmap_mut_alias_is_followed() {
+        // `&mut self.map` is as much an alias as `&self.map`.
+        let src = "struct S { map: HashMap<u64, u8> }\n\
+                   let p = &mut self.map;\n\
+                   for k in p.keys() {}\n";
+        let hits = hashmap_iterations(&mask(src));
+        let names: Vec<&str> = hits.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["p"], "{hits:?}");
+    }
+
+    #[test]
+    fn hashmap_shadowing_rebind_kills_taint() {
+        // A shadowing `let` with a non-map RHS ends the taint: iterating
+        // the name *after* the rebind is clean, *before* it still fires.
+        let src = "let m: HashMap<u64, u8> = HashMap::new();\n\
+                   m.iter();\n\
+                   let m = sorted_keys();\n\
+                   m.iter();\n\
+                   let p = &m;\n\
+                   p.iter();\n";
+        let hits = hashmap_iterations(&mask(src));
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        // The surviving hit is the pre-shadow iteration on line 2.
+        let starts = crate::lexer::line_starts(src);
+        assert_eq!(crate::lexer::line_of(&starts, hits[0].1), 2);
     }
 
     #[test]

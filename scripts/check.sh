@@ -20,8 +20,22 @@ else
     echo "   rustfmt not installed; skipping"
 fi
 
-echo "== amnt-lint =="
-cargo run --release -p amnt-lint || fail=1
+echo "== amnt-lint (self-tests + workspace gate) =="
+# The linter's own suite first (parse/callgraph/dataflow fixtures), then
+# the workspace gate. The gate archives machine-readable findings next to
+# the bench sidecars and runs under a generous wall-clock budget — the
+# interprocedural pass is a fixpoint, and a resolution regression that
+# blows it up should fail loudly here rather than hang CI.
+cargo test -q -p amnt-lint || fail=1
+mkdir -p results
+lint_start=$(date +%s)
+cargo run --release -p amnt-lint -- --json results/lint.json || fail=1
+lint_elapsed=$(( $(date +%s) - lint_start ))
+lint_budget="${AMNT_LINT_BUDGET_S:-300}"
+if [ "$lint_elapsed" -gt "$lint_budget" ]; then
+    echo "   amnt-lint: self-time ${lint_elapsed}s exceeds budget ${lint_budget}s (fixpoint blowup?)"
+    fail=1
+fi
 
 echo "== cargo build --release --workspace =="
 cargo build --release --workspace || fail=1
