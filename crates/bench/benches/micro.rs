@@ -19,7 +19,14 @@ fn bench_crypto() {
     let data64 = [0x5Au8; 64];
     time_bench("crypto/sha256_64B", 100_000, || sha256(black_box(&data64)));
     let hmac = HmacSha256::new(b"bench key");
-    time_bench("crypto/hmac_mac64_64B", 50_000, || hmac.mac64(black_box(&data64)));
+    time_bench("crypto/hmac_mac64_64B", 50_000, || {
+        hmac.mac64(black_box(&data64))
+    });
+    let items: [(&HmacSha256, &[u8]); 8] = [(&hmac, &data64[..]); 8];
+    // Divide by 8 mentally to compare per-MAC: one call verifies 8 MACs.
+    time_bench("crypto/mac64_batch8_64B", 50_000, || {
+        amnt_crypto::mac64_batch(black_box(&items))
+    });
     let engine = CtrEngine::new(&[9u8; 16]);
     let data = [0x11u8; 64];
     time_bench("crypto/ctr_encrypt_block", 50_000, || {
@@ -32,7 +39,9 @@ fn bench_cache() {
     println!("-- cache");
     let mut cache = SetAssocCache::new(CacheConfig::new(64 * 1024, 8, 64)).unwrap();
     cache.fill(0x40, false);
-    time_bench("cache/access_hit", 500_000, || cache.access(black_box(0x40), false));
+    time_bench("cache/access_hit", 500_000, || {
+        cache.access(black_box(0x40), false)
+    });
     let mut cache = SetAssocCache::new(CacheConfig::new(64 * 1024, 8, 64)).unwrap();
     let mut addr = 0u64;
     time_bench("cache/fill_evict_cycle", 500_000, || {
@@ -43,7 +52,9 @@ fn bench_cache() {
     for i in 0..1024u64 {
         cache.fill(i * 64, i % 3 == 0);
     }
-    time_bench("cache/dirty_scan_64kB", 10_000, || cache.dirty_lines().count());
+    time_bench("cache/dirty_scan_64kB", 10_000, || {
+        cache.dirty_lines().count()
+    });
 }
 
 fn bench_bmt() {
@@ -67,7 +78,10 @@ fn bench_bmt() {
         c.increment(i as usize % 64);
         bmt.write_counter(&mut nvm, i, &c).unwrap();
     }
-    let node = amnt_bmt::NodeId { level: bmt.geometry().bottom_level(), index: 0 };
+    let node = amnt_bmt::NodeId {
+        level: bmt.geometry().bottom_level(),
+        index: 0,
+    };
     time_bench("bmt/compute_node_8_children", 10_000, || {
         bmt.compute_node(black_box(&mut nvm), node).unwrap()
     });
@@ -77,7 +91,9 @@ fn bench_bmt() {
     let mut c = CounterBlock::new();
     c.increment(0);
     bmt.write_counter(&mut nvm, 0, &c).unwrap();
-    time_bench("bmt/build_full_2MiB", 20, || bmt.build_full(black_box(&mut nvm)).unwrap());
+    time_bench("bmt/build_full_2MiB", 20, || {
+        bmt.build_full(black_box(&mut nvm)).unwrap()
+    });
 }
 
 fn bench_history_buffer() {
@@ -109,11 +125,15 @@ fn bench_buddy() {
         buddy.free_pages(black_box(pfn));
     });
     let mut buddy = BuddyAllocator::new(1 << 14);
-    let pfns: Vec<u64> = (0..(1 << 14)).map(|_| buddy.alloc_pages(0).unwrap()).collect();
+    let pfns: Vec<u64> = (0..(1 << 14))
+        .map(|_| buddy.alloc_pages(0).unwrap())
+        .collect();
     for &p in pfns.iter().step_by(4) {
         buddy.free_pages(p);
     }
-    time_bench("buddy/restructure_4k_chunks", 200, || buddy.restructure(|pfn| black_box(pfn) / 512));
+    time_bench("buddy/restructure_4k_chunks", 200, || {
+        buddy.restructure(|pfn| black_box(pfn) / 512)
+    });
 }
 
 fn bench_controller() {
@@ -135,10 +155,15 @@ fn bench_controller() {
     ] {
         let mut mem = setup(kind.1);
         let mut i = 0u64;
-        time_bench(&format!("controller/write_block_{}", kind.0), 20_000, || {
-            i = (i + 1) % 256;
-            mem.write_block(0, black_box(i * 64), &[i as u8; 64]).unwrap()
-        });
+        time_bench(
+            &format!("controller/write_block_{}", kind.0),
+            20_000,
+            || {
+                i = (i + 1) % 256;
+                mem.write_block(0, black_box(i * 64), &[i as u8; 64])
+                    .unwrap()
+            },
+        );
     }
     let mut mem = setup(ProtocolKind::Leaf);
     let mut i = 0u64;
@@ -173,14 +198,17 @@ fn bench_extensions() {
     let mut line = 0u64;
     time_bench("extensions/start_gap_write", 50_000, || {
         line = (line + 7) % 1024;
-        sg.write_line(&mut nvm, black_box(line), &[3u8; 64]).unwrap()
+        sg.write_line(&mut nvm, black_box(line), &[3u8; 64])
+            .unwrap()
     });
     let mut mem = HybridMemory::new(HybridConfig::new(1 << 20, 8 << 20)).unwrap();
     let mut t = 0;
     let mut i = 0u64;
     time_bench("extensions/hybrid_write_scm", 20_000, || {
         i = (i + 1) % 128;
-        t = mem.write_block(t, (1 << 20) + i * 64, &[i as u8; 64]).unwrap();
+        t = mem
+            .write_block(t, (1 << 20) + i * 64, &[i as u8; 64])
+            .unwrap();
         t
     });
 }

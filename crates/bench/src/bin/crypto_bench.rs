@@ -1,0 +1,54 @@
+//! Crypto throughput reference: scalar vs batched (8-lane) truncated MACs.
+//!
+//! Emits `results/crypto_bench.json` with per-MAC ns/op for the scalar
+//! `mac64` path and the interleaved `mac64_batch::<8>` path over the
+//! controller's exact 85-byte data-MAC message shape, plus the resulting
+//! speedup. Perfgate pins `batch8_speedup` with a one-sided `min` row (the
+//! ISSUE's ≥ 1.6× acceptance floor), so a regression in the lane engine
+//! fails CI rather than surfacing as anecdote.
+//!
+//! Timing rows are host-clock measurements and inherently machine-relative;
+//! the artifact intentionally carries only ratios and ns/op references, not
+//! simulated cycles, and is excluded from byte-identity comparisons.
+
+use amnt_bench::{time_bench, ExperimentResult};
+use amnt_crypto::{mac64_batch, HmacSha256, DATA_MAC_MSG_LEN};
+use std::hint::black_box;
+
+fn main() {
+    let hmac = HmacSha256::new(b"crypto-bench-integrity-key");
+    // Eight distinct 85-byte messages (the data-MAC shape) so the batch
+    // cannot cheat via identical lanes.
+    let msgs: Vec<[u8; DATA_MAC_MSG_LEN]> = (0..8u8)
+        .map(|i| {
+            let mut m = [0u8; DATA_MAC_MSG_LEN];
+            for (j, b) in m.iter_mut().enumerate() {
+                *b = i.wrapping_mul(37).wrapping_add(j as u8);
+            }
+            m
+        })
+        .collect();
+
+    let iters = 40_000;
+    let scalar_ns = time_bench("crypto/mac64_85B_scalar_x8", iters, || {
+        let mut acc = 0u64;
+        for m in &msgs {
+            acc ^= hmac.mac64(black_box(m));
+        }
+        acc
+    }) / 8.0;
+    let batch_ns = time_bench("crypto/mac64_85B_batch8", iters, || {
+        let items: [(&HmacSha256, &[u8]); 8] = core::array::from_fn(|i| (&hmac, &msgs[i][..]));
+        mac64_batch(black_box(&items))
+    }) / 8.0;
+    let speedup = scalar_ns / batch_ns;
+    println!("per-MAC: scalar {scalar_ns:.1} ns, batch8 {batch_ns:.1} ns, speedup {speedup:.2}x");
+
+    let mut result = ExperimentResult::new("crypto_bench", "ns per MAC (host clock)");
+    result.push("mac64_85B", "scalar_ns_per_mac", scalar_ns);
+    result.push("mac64_85B", "batch8_ns_per_mac", batch_ns);
+    result.push("mac64_85B", "batch8_speedup", speedup);
+    result.push("mac64_85B", "batch8_rel_scalar", batch_ns / scalar_ns);
+    let path = result.save().expect("write results/crypto_bench.json");
+    println!("wrote {}", path.display());
+}

@@ -7,10 +7,12 @@
 //! Eviction-writeback crash points are enumerated as their own class, and
 //! the nested recovery-fault sweep re-crashes the recovery procedure at
 //! every one of its device writes before recovering again (the idempotence
-//! sweep). Emits `results/fault_sweep.json` with the per-protocol coverage
+//! sweep). A fourth phase cuts power with deferred leaf-MAC checks still
+//! pending in the lazy verify queue, at every op boundary and queue depth.
+//! Emits `results/fault_sweep.json` with the per-protocol coverage
 //! counters that `perfgate` checks (silent corruption, boundary deficits,
-//! eviction-class silents and idempotence violations must be exactly zero
-//! at any workload size).
+//! eviction-class silents, idempotence violations and verify-queue-class
+//! silents must be exactly zero at any workload size).
 //!
 //! `AMNT_FAULT_OPS` scales the workload (default 100 ops — the acceptance
 //! sweep). The per-protocol sweeps are independent and run in parallel;
@@ -27,7 +29,10 @@ fn main() {
         .ok()
         .and_then(|v| v.parse::<usize>().ok())
         .unwrap_or(100);
-    let cfg = FaultSweepConfig { ops, ..FaultSweepConfig::default() };
+    let cfg = FaultSweepConfig {
+        ops,
+        ..FaultSweepConfig::default()
+    };
 
     let mut grid: Grid<SweepSummary> = Grid::new();
     for (name, kind) in sweep_protocols() {
@@ -53,8 +58,10 @@ fn main() {
         "silent",
         "boundary"
     );
-    let mut result =
-        ExperimentResult::new("fault_sweep", "crash-point exploration outcomes per protocol");
+    let mut result = ExperimentResult::new(
+        "fault_sweep",
+        "crash-point exploration outcomes per protocol",
+    );
     for cell in results.cells() {
         let s = &cell.value;
         println!(
@@ -89,11 +96,35 @@ fn main() {
         result.push(&cell.row, "recovery_points", s.recovery_points as f64);
         result.push(&cell.row, "recovery_recovered", s.recovery_recovered as f64);
         result.push(&cell.row, "recovery_detected", s.recovery_detected as f64);
-        result.push(&cell.row, "idempotence_violations", s.idempotence_violations as f64);
+        result.push(
+            &cell.row,
+            "idempotence_violations",
+            s.idempotence_violations as f64,
+        );
         result.push(&cell.row, "work_regressions", s.work_regressions as f64);
+        result.push(
+            &cell.row,
+            "verify_queue_points",
+            s.verify_queue_points as f64,
+        );
+        result.push(
+            &cell.row,
+            "verify_queue_recovered",
+            s.verify_queue_recovered as f64,
+        );
+        result.push(
+            &cell.row,
+            "verify_queue_detected",
+            s.verify_queue_detected as f64,
+        );
+        result.push(
+            &cell.row,
+            "verify_queue_silent",
+            s.verify_queue_silent as f64,
+        );
     }
     println!(
-        "\n{:<9}{:>7}{:>9}{:>9}{:>9}{:>9}{:>9}{:>9}{:>7}{:>7}",
+        "\n{:<9}{:>7}{:>9}{:>9}{:>9}{:>9}{:>9}{:>9}{:>7}{:>7}{:>8}{:>8}",
         "protocol",
         "evict",
         "ev_rec",
@@ -103,12 +134,14 @@ fn main() {
         "rec_rec",
         "rec_det",
         "idem",
-        "workrg"
+        "workrg",
+        "vq_pts",
+        "vq_sil"
     );
     for cell in results.cells() {
         let s = &cell.value;
         println!(
-            "{:<9}{:>7}{:>9}{:>9}{:>9}{:>9}{:>9}{:>9}{:>7}{:>7}",
+            "{:<9}{:>7}{:>9}{:>9}{:>9}{:>9}{:>9}{:>9}{:>7}{:>7}{:>8}{:>8}",
             cell.row,
             s.evict_points,
             s.evict_recovered,
@@ -118,12 +151,15 @@ fn main() {
             s.recovery_recovered,
             s.recovery_detected,
             s.idempotence_violations,
-            s.work_regressions
+            s.work_regressions,
+            s.verify_queue_points,
+            s.verify_queue_silent
         );
     }
     println!(
-        "\nsilent corruption, boundary deficits, eviction-class silents and \
-         idempotence violations must be zero for every protocol."
+        "\nsilent corruption, boundary deficits, eviction-class silents, \
+         idempotence violations and verify-queue-class silents must be zero \
+         for every protocol."
     );
     result.set_host(&timer, results.workers);
     let path = result.save().expect("save results");

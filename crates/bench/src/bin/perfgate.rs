@@ -9,6 +9,8 @@
 //! gmean <artifact> <col> <expected> <rel_tol>   # per-column geometric mean
 //! cell  <artifact> <row> <col> <expected> <rel_tol>
 //! rank  <artifact> <better_col> <worse_col>     # gmean ordering, 2% slack
+//! min   <artifact> <row> <col> <bound>          # one-sided cell floor
+//! max   <artifact> <row> <col> <bound>          # one-sided cell ceiling
 //! ```
 //!
 //! Artifacts that are missing are *skipped* (the gate never forces a full
@@ -35,10 +37,7 @@ struct Cell {
 /// general JSON parser — the workspace writes these files itself.
 fn parse_cells(json: &str) -> Result<Vec<Cell>, String> {
     let mut cells = Vec::new();
-    let body = json
-        .split_once("\"cells\"")
-        .ok_or("no \"cells\" field")?
-        .1;
+    let body = json.split_once("\"cells\"").ok_or("no \"cells\" field")?.1;
     let mut rest = body;
     while let Some(start) = rest.find('{') {
         let end = start + rest[start..].find('}').ok_or("unterminated cell object")?;
@@ -56,9 +55,14 @@ fn parse_cells(json: &str) -> Result<Vec<Cell>, String> {
 /// Extracts `"key": "..."` from a flat object, un-escaping the string.
 fn field_string(obj: &str, key: &str) -> Result<String, String> {
     let pat = format!("\"{key}\":");
-    let after = obj.split_once(&pat).ok_or_else(|| format!("missing {key}"))?.1;
+    let after = obj
+        .split_once(&pat)
+        .ok_or_else(|| format!("missing {key}"))?
+        .1;
     let after = after.trim_start();
-    let inner = after.strip_prefix('"').ok_or_else(|| format!("{key} is not a string"))?;
+    let inner = after
+        .strip_prefix('"')
+        .ok_or_else(|| format!("{key} is not a string"))?;
     let mut out = String::new();
     let mut chars = inner.chars();
     while let Some(c) = chars.next() {
@@ -86,7 +90,10 @@ fn field_string(obj: &str, key: &str) -> Result<String, String> {
 /// Extracts `"key": <number|null>` from a flat object (`null` → NaN).
 fn field_number(obj: &str, key: &str) -> Result<f64, String> {
     let pat = format!("\"{key}\":");
-    let after = obj.split_once(&pat).ok_or_else(|| format!("missing {key}"))?.1;
+    let after = obj
+        .split_once(&pat)
+        .ok_or_else(|| format!("missing {key}"))?
+        .1;
     let token: String = after
         .trim_start()
         .chars()
@@ -95,7 +102,9 @@ fn field_number(obj: &str, key: &str) -> Result<f64, String> {
     if token == "null" {
         return Ok(f64::NAN);
     }
-    token.parse().map_err(|_| format!("bad number for {key}: {token}"))
+    token
+        .parse()
+        .map_err(|_| format!("bad number for {key}: {token}"))
 }
 
 /// A loaded artifact, or the reason it can't be checked.
@@ -118,8 +127,11 @@ fn load_artifact(dir: &Path, id: &str) -> Artifact {
 
 /// Geometric mean of an artifact's values in column `col`.
 fn col_gmean(cells: &[Cell], col: &str) -> Option<f64> {
-    let vals: Vec<f64> =
-        cells.iter().filter(|c| c.col == col && c.value.is_finite()).map(|c| c.value).collect();
+    let vals: Vec<f64> = cells
+        .iter()
+        .filter(|c| c.col == col && c.value.is_finite())
+        .map(|c| c.value)
+        .collect();
     if vals.is_empty() {
         None
     } else {
@@ -213,7 +225,9 @@ fn main() {
         let artifact_id = match fields.get(1) {
             Some(id) => (*id).to_string(),
             None => {
-                fail(format!("EXPERIMENTS.md:{lineno}: directive needs an artifact id"));
+                fail(format!(
+                    "EXPERIMENTS.md:{lineno}: directive needs an artifact id"
+                ));
                 continue;
             }
         };
@@ -235,8 +249,7 @@ fn main() {
 
         match fields.as_slice() {
             ["gmean", _, col, expected, tol] => {
-                let (Ok(expected), Ok(tol)) = (expected.parse::<f64>(), tol.parse::<f64>())
-                else {
+                let (Ok(expected), Ok(tol)) = (expected.parse::<f64>(), tol.parse::<f64>()) else {
                     fail(format!("EXPERIMENTS.md:{lineno}: bad number"));
                     continue;
                 };
@@ -255,14 +268,16 @@ fn main() {
                 }
             }
             ["cell", _, row, col, expected, tol] => {
-                let (Ok(expected), Ok(tol)) = (expected.parse::<f64>(), tol.parse::<f64>())
-                else {
+                let (Ok(expected), Ok(tol)) = (expected.parse::<f64>(), tol.parse::<f64>()) else {
                     fail(format!("EXPERIMENTS.md:{lineno}: bad number"));
                     continue;
                 };
                 // Directive tokens are whitespace-split, so spaces in row
                 // labels are written as underscores ("AMNT_L2" ↔ "AMNT L2").
-                match cells.iter().find(|c| c.row.replace(' ', "_") == *row && c.col == *col) {
+                match cells
+                    .iter()
+                    .find(|c| c.row.replace(' ', "_") == *row && c.col == *col)
+                {
                     None => fail(format!("no cell ({row}, {col}) in {artifact_id}.json")),
                     Some(c) if (c.value - expected).abs() > tol * expected.abs() => {
                         fail(format!(
@@ -280,6 +295,42 @@ fn main() {
                     }
                 }
             }
+            [dir @ ("min" | "max"), _, row, col, bound] => {
+                let Ok(bound) = bound.parse::<f64>() else {
+                    fail(format!("EXPERIMENTS.md:{lineno}: bad number"));
+                    continue;
+                };
+                match cells
+                    .iter()
+                    .find(|c| c.row.replace(' ', "_") == *row && c.col == *col)
+                {
+                    None => fail(format!("no cell ({row}, {col}) in {artifact_id}.json")),
+                    Some(c) => {
+                        let ok = if *dir == "min" {
+                            c.value >= bound
+                        } else {
+                            c.value <= bound
+                        };
+                        if ok {
+                            println!(
+                                "ok    {dir} {artifact_id} ({row}, {col}) = {:.4} (bound {bound})",
+                                c.value
+                            );
+                            checked += 1;
+                        } else {
+                            let rel = if *dir == "min" {
+                                "below floor"
+                            } else {
+                                "above ceiling"
+                            };
+                            fail(format!(
+                                "cell ({row}, {col}) = {:.4} {rel} {bound}",
+                                c.value
+                            ));
+                        }
+                    }
+                }
+            }
             ["rank", _, better, worse] => {
                 match (col_gmean(cells, better), col_gmean(cells, worse)) {
                     (Some(b), Some(w)) if b > w * RANK_SLACK => {
@@ -291,7 +342,9 @@ fn main() {
                         println!("ok    rank {artifact_id} {better} ({b:.4}) <= {worse} ({w:.4})");
                         checked += 1;
                     }
-                    _ => fail(format!("missing '{better}' or '{worse}' cells in {artifact_id}.json")),
+                    _ => fail(format!(
+                        "missing '{better}' or '{worse}' cells in {artifact_id}.json"
+                    )),
                 }
             }
             _ => fail(format!("EXPERIMENTS.md:{lineno}: unknown directive")),

@@ -13,9 +13,15 @@ use amnt_workloads::WorkloadModel;
 const MIB: u64 = 1024 * 1024;
 
 /// A miniature fig4-style grid: three workloads × three protocols of raw
-/// simulation runs, normalized to each row's volatile baseline.
-fn small_grid() -> Grid<SimReport> {
-    let len = RunLength { accesses: 8_000, warmup: 800, seed: 7 };
+/// simulation runs, normalized to each row's volatile baseline. The
+/// verify-queue depth is a parameter so the on/off byte-identity contract
+/// (`AMNT_VERIFY_QUEUE` as a pure host-speed knob) is pinned here too.
+fn small_grid(verify_queue: usize) -> Grid<SimReport> {
+    let len = RunLength {
+        accesses: 8_000,
+        warmup: 800,
+        seed: 7,
+    };
     let mut grid: Grid<SimReport> = Grid::new();
     for name in ["fluidanimate", "canneal", "lbm"] {
         let model = WorkloadModel::by_name(name).expect("catalogued");
@@ -25,7 +31,8 @@ fn small_grid() -> Grid<SimReport> {
             ("amnt", ProtocolKind::Amnt(AmntConfig::at_level(2))),
         ] {
             grid.add(name, col, move || {
-                let cfg = MachineConfig::parsec_single().scaled_down(128 * MIB);
+                let mut cfg = MachineConfig::parsec_single().scaled_down(128 * MIB);
+                cfg.secure.verify_queue = verify_queue;
                 run_single(&model, cfg, protocol, len).expect(col)
             });
         }
@@ -33,8 +40,8 @@ fn small_grid() -> Grid<SimReport> {
     grid
 }
 
-fn render(workers: usize) -> String {
-    let results = small_grid().run_with(workers);
+fn render(workers: usize, verify_queue: usize) -> String {
+    let results = small_grid(verify_queue).run_with(workers);
     assert_eq!(results.workers, workers);
     let mut result = ExperimentResult::new("determinism", "cycles normalized to volatile");
     results.render_normalized("volatile", &["leaf", "amnt"], &mut result, true);
@@ -43,8 +50,8 @@ fn render(workers: usize) -> String {
 
 #[test]
 fn serial_and_parallel_artifacts_are_byte_identical() {
-    let serial = render(1);
-    let parallel = render(4);
+    let serial = render(1, 8);
+    let parallel = render(4, 8);
     assert!(!serial.is_empty() && serial.contains("\"cells\""));
     assert_eq!(serial, parallel, "AMNT_JOBS must be a pure speed knob");
 }
@@ -53,9 +60,25 @@ fn serial_and_parallel_artifacts_are_byte_identical() {
 fn odd_worker_counts_match_too() {
     // Worker counts that don't divide the job count exercise the
     // work-stealing tail; output must still be identical.
-    let reference = render(1);
+    let reference = render(1, 8);
     for workers in [2, 3, 9] {
-        assert_eq!(reference, render(workers), "workers={workers}");
+        assert_eq!(reference, render(workers, 8), "workers={workers}");
+    }
+}
+
+#[test]
+fn verify_queue_depth_never_changes_the_artifact() {
+    // The lazy verify queue batches host-side MAC work; every deferred
+    // check is still *charged* (stats and cycles) at enqueue, so the
+    // artifact must be byte-identical between eager verification and any
+    // queue depth.
+    let eager = render(1, 0);
+    for depth in [1, 8, 32] {
+        assert_eq!(
+            eager,
+            render(1, depth),
+            "verify_queue={depth} changed the artifact"
+        );
     }
 }
 
@@ -63,7 +86,10 @@ fn odd_worker_counts_match_too() {
 /// small op count, nested recovery-fault pass included — the same cells
 /// the `fault_sweep` bin emits, scaled down.
 fn fault_grid() -> Grid<SweepSummary> {
-    let cfg = FaultSweepConfig { ops: 8, ..FaultSweepConfig::default() };
+    let cfg = FaultSweepConfig {
+        ops: 8,
+        ..FaultSweepConfig::default()
+    };
     let mut grid: Grid<SweepSummary> = Grid::new();
     for (name, kind) in sweep_protocols() {
         let cfg = cfg.clone();
@@ -77,8 +103,10 @@ fn fault_grid() -> Grid<SweepSummary> {
 fn render_fault(workers: usize) -> String {
     let results = fault_grid().run_with(workers);
     assert_eq!(results.workers, workers);
-    let mut result =
-        ExperimentResult::new("fault_sweep", "crash-point exploration outcomes per protocol");
+    let mut result = ExperimentResult::new(
+        "fault_sweep",
+        "crash-point exploration outcomes per protocol",
+    );
     for cell in results.cells() {
         let s = &cell.value;
         result.push(&cell.row, "crash_points", s.crash_points as f64);
@@ -92,8 +120,22 @@ fn render_fault(workers: usize) -> String {
         result.push(&cell.row, "recovery_points", s.recovery_points as f64);
         result.push(&cell.row, "recovery_recovered", s.recovery_recovered as f64);
         result.push(&cell.row, "recovery_detected", s.recovery_detected as f64);
-        result.push(&cell.row, "idempotence_violations", s.idempotence_violations as f64);
+        result.push(
+            &cell.row,
+            "idempotence_violations",
+            s.idempotence_violations as f64,
+        );
         result.push(&cell.row, "work_regressions", s.work_regressions as f64);
+        result.push(
+            &cell.row,
+            "verify_queue_points",
+            s.verify_queue_points as f64,
+        );
+        result.push(
+            &cell.row,
+            "verify_queue_silent",
+            s.verify_queue_silent as f64,
+        );
     }
     result.to_json()
 }
@@ -106,5 +148,8 @@ fn fault_sweep_artifact_is_byte_identical_across_worker_counts() {
     let serial = render_fault(1);
     assert!(serial.contains("idempotence_violations"));
     let parallel = render_fault(4);
-    assert_eq!(serial, parallel, "fault_sweep artifact varied with worker count");
+    assert_eq!(
+        serial, parallel,
+        "fault_sweep artifact varied with worker count"
+    );
 }

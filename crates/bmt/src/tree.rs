@@ -9,7 +9,7 @@
 
 use crate::counter::CounterBlock;
 use crate::geometry::{BmtGeometry, NodeId, BLOCK_SIZE, TREE_ARITY};
-use amnt_crypto::HmacSha256;
+use amnt_crypto::{HmacSha256, DATA_MAC_MSG_LEN};
 use amnt_nvm::{Nvm, NvmError};
 
 /// A 64-byte tree node or counter block image.
@@ -24,7 +24,9 @@ pub struct BmtHasher {
 impl BmtHasher {
     /// Creates a hasher keyed with the on-chip integrity key.
     pub fn new(key: &[u8]) -> Self {
-        BmtHasher { hmac: HmacSha256::new(key) }
+        BmtHasher {
+            hmac: HmacSha256::new(key),
+        }
     }
 
     /// MAC of counter block `index` with content `bytes`.
@@ -67,13 +69,44 @@ impl BmtHasher {
             &[minor],
         ])
     }
+
+    /// The flattened message [`Self::data_mac`] authenticates, as one
+    /// fixed-size buffer: `ciphertext ‖ "data" ‖ addr ‖ major ‖ minor`.
+    ///
+    /// The controller's lazy verify queue stores this per deferred read and
+    /// later drains whole batches through [`amnt_crypto::mac64_batch`]; the
+    /// `data_mac_message_matches_data_mac` test pins the equivalence
+    /// `hmac().mac64(&data_mac_message(..)) == data_mac(..)`.
+    pub fn data_mac_message(
+        &self,
+        ciphertext: &NodeBytes,
+        addr: u64,
+        major: u64,
+        minor: u8,
+    ) -> [u8; DATA_MAC_MSG_LEN] {
+        let mut msg = [0u8; DATA_MAC_MSG_LEN];
+        msg[..64].copy_from_slice(ciphertext);
+        msg[64..68].copy_from_slice(b"data");
+        msg[68..76].copy_from_slice(&addr.to_le_bytes());
+        msg[76..84].copy_from_slice(&major.to_le_bytes());
+        msg[84] = minor;
+        msg
+    }
+
+    /// The underlying keyed HMAC — lent to the multi-lane batch engine so
+    /// queue drains reuse this hasher's precomputed pad midstates.
+    pub fn hmac(&self) -> &HmacSha256 {
+        &self.hmac
+    }
 }
 
 /// Reads slot `slot` (0..8) of a node image.
 pub fn slot_of(bytes: &NodeBytes, slot: usize) -> u64 {
     // A fold rather than a fallible slice-to-array conversion: node slots
     // are read on the recovery path, which must stay panic-free (lint R1).
-    bytes[slot * 8..slot * 8 + 8].iter().fold(0u64, |acc, &b| (acc << 8) | u64::from(b))
+    bytes[slot * 8..slot * 8 + 8]
+        .iter()
+        .fold(0u64, |acc, &b| (acc << 8) | u64::from(b))
 }
 
 /// Writes slot `slot` (0..8) of a node image.
@@ -105,7 +138,10 @@ pub struct Bmt {
 impl Bmt {
     /// Couples `geometry` with a hasher keyed by `key`.
     pub fn new(geometry: BmtGeometry, key: &[u8]) -> Self {
-        Bmt { geometry, hasher: BmtHasher::new(key) }
+        Bmt {
+            geometry,
+            hasher: BmtHasher::new(key),
+        }
     }
 
     /// The tree's geometry.
@@ -279,6 +315,28 @@ mod tests {
         (Bmt::new(geometry, b"test key"), nvm)
     }
 
+    /// The flattened queue-entry message must authenticate to exactly the
+    /// scalar `data_mac` — this equality is what lets the controller defer
+    /// a leaf check and batch-verify it later without changing the MAC.
+    #[test]
+    fn data_mac_message_matches_data_mac() {
+        let hasher = BmtHasher::new(b"test key");
+        let mut ct = [0u8; 64];
+        for (i, b) in ct.iter_mut().enumerate() {
+            *b = (i as u8).wrapping_mul(0x9D);
+        }
+        for (addr, major, minor) in [(0u64, 0u64, 0u8), (0x7C0, 3, 7), (u64::MAX, u64::MAX, 255)] {
+            let msg = hasher.data_mac_message(&ct, addr, major, minor);
+            assert_eq!(
+                hasher.hmac().mac64(&msg),
+                hasher.data_mac(&ct, addr, major, minor),
+                "addr {addr:#x} major {major} minor {minor}"
+            );
+            let batch = amnt_crypto::mac64_batch(&[(hasher.hmac(), &msg[..])]);
+            assert_eq!(batch[0], hasher.data_mac(&ct, addr, major, minor));
+        }
+    }
+
     #[test]
     fn build_then_verify() {
         let (bmt, mut nvm) = setup(512);
@@ -313,7 +371,10 @@ mod tests {
         let root = bmt.build_full(&mut nvm).unwrap();
         // verify_full recomputes from counters, so stored-node tampering
         // alone does not change the verdict...
-        let node = NodeId { level: bmt.geometry().bottom_level(), index: 0 };
+        let node = NodeId {
+            level: bmt.geometry().bottom_level(),
+            index: 0,
+        };
         nvm.tamper_flip_bit(bmt.geometry().node_addr(node), 0);
         assert!(bmt.verify_full(&mut nvm, &root).unwrap());
         // ...but the stored node no longer matches its recomputation.
@@ -337,7 +398,10 @@ mod tests {
         // Every stored node inside the subtree now matches recomputation.
         for level in 2..=3 {
             for index in 0..bmt.geometry().level_size(level as u32) {
-                let node = NodeId { level: level as u32, index };
+                let node = NodeId {
+                    level: level as u32,
+                    index,
+                };
                 if bmt.geometry().in_subtree(node, sub) {
                     let stored = nvm.read_block(bmt.geometry().node_addr(node)).unwrap();
                     let computed = bmt.compute_node(&mut nvm, node).unwrap();
@@ -353,7 +417,9 @@ mod tests {
         let mut c = bmt.read_counter(&mut nvm, 3).unwrap();
         c.increment(1);
         bmt.write_counter(&mut nvm, 3, &c).unwrap();
-        let via_subtree = bmt.rebuild_subtree(&mut nvm, NodeId { level: 1, index: 0 }).unwrap();
+        let via_subtree = bmt
+            .rebuild_subtree(&mut nvm, NodeId { level: 1, index: 0 })
+            .unwrap();
         assert!(bmt.verify_full(&mut nvm, &via_subtree).unwrap());
     }
 
@@ -413,7 +479,10 @@ mod tests {
     fn all_zero_metadata_macs_to_zero() {
         let hasher = BmtHasher::new(b"k");
         assert_eq!(hasher.counter_mac(&[0u8; 64], 9), 0);
-        assert_eq!(hasher.node_mac(&[0u8; 64], NodeId { level: 2, index: 1 }), 0);
+        assert_eq!(
+            hasher.node_mac(&[0u8; 64], NodeId { level: 2, index: 1 }),
+            0
+        );
         assert_ne!(hasher.counter_mac(&[1u8; 64], 9), 0);
     }
 

@@ -62,7 +62,12 @@ pub struct CacheConfig {
 impl CacheConfig {
     /// Creates an LRU configuration; validated by [`SetAssocCache::new`].
     pub fn new(size_bytes: usize, ways: usize, line_size: usize) -> Self {
-        CacheConfig { size_bytes, ways, line_size, policy: ReplacementPolicy::Lru }
+        CacheConfig {
+            size_bytes,
+            ways,
+            line_size,
+            policy: ReplacementPolicy::Lru,
+        }
     }
 
     /// Switches the replacement policy.
@@ -108,7 +113,11 @@ impl fmt::Display for CacheConfigError {
             CacheConfigError::BadLineSize(n) => {
                 write!(f, "line size {n} is not a nonzero power of two")
             }
-            CacheConfigError::NotSetDivisible { size_bytes, ways, line_size } => write!(
+            CacheConfigError::NotSetDivisible {
+                size_bytes,
+                ways,
+                line_size,
+            } => write!(
                 f,
                 "capacity {size_bytes} is not divisible by ways ({ways}) * line size ({line_size})"
             ),
@@ -146,7 +155,12 @@ struct Line {
     stamp: u64,
 }
 
-const EMPTY_LINE: Line = Line { tag: 0, dirty: false, valid: false, stamp: 0 };
+const EMPTY_LINE: Line = Line {
+    tag: 0,
+    dirty: false,
+    valid: false,
+    stamp: 0,
+};
 
 /// A set-associative, write-back, LRU cache model.
 ///
@@ -182,7 +196,11 @@ impl SetAssocCache {
         if config.ways == 0 {
             return Err(CacheConfigError::ZeroWays);
         }
-        if config.size_bytes == 0 || !config.size_bytes.is_multiple_of(config.ways * config.line_size) {
+        if config.size_bytes == 0
+            || !config
+                .size_bytes
+                .is_multiple_of(config.ways * config.line_size)
+        {
             return Err(CacheConfigError::NotSetDivisible {
                 size_bytes: config.size_bytes,
                 ways: config.ways,
@@ -307,12 +325,82 @@ impl SetAssocCache {
                     self.trace.bump("dirty_evictions");
                 }
             }
-            Some(Eviction { addr: victim.tag << self.set_shift, dirty: victim.dirty })
+            Some(Eviction {
+                addr: victim.tag << self.set_shift,
+                dirty: victim.dirty,
+            })
         } else {
             None
         };
-        self.lines[victim_idx] = Line { tag, dirty, valid: true, stamp: clock };
+        self.lines[victim_idx] = Line {
+            tag,
+            dirty,
+            valid: true,
+            stamp: clock,
+        };
         evicted
+    }
+
+    /// Inserts the line containing `addr` for a *prefetch*: the new line
+    /// lands at LRU position (an epoch-zero stamp) so a wrong guess is its
+    /// set's first victim and demand-fetched state is never displaced by
+    /// more than one way per set. A line already present keeps its stamp
+    /// and dirty bit (prefetching something resident is a no-op), and a
+    /// displaced victim is reported exactly as in [`Self::fill`].
+    pub fn fill_prefetched(&mut self, addr: u64) -> Option<Eviction> {
+        let tag = addr >> self.set_shift;
+        let range = self.set_range(addr);
+        if self.lines[range.clone()]
+            .iter()
+            .any(|l| l.valid && l.tag == tag)
+        {
+            return None;
+        }
+        self.stats.prefetch_fills += 1;
+        if self.trace.enabled() {
+            self.trace.bump("prefetch_fills");
+        }
+        // Prefer the first invalid way, else the set's LRU (minimum stamp,
+        // first on ties) — the same victim [`Self::fill`] would pick.
+        let set_shift = self.set_shift;
+        let Some(slot) = self.lines.get_mut(range).and_then(|set| {
+            set.iter_mut().reduce(|best, line| {
+                if !best.valid {
+                    best
+                } else if !line.valid || line.stamp < best.stamp {
+                    line
+                } else {
+                    best
+                }
+            })
+        }) else {
+            return None;
+        };
+        let victim = *slot;
+        *slot = Line {
+            tag,
+            dirty: false,
+            valid: true,
+            stamp: 0,
+        };
+        if victim.valid {
+            self.stats.evictions += 1;
+            if victim.dirty {
+                self.stats.dirty_evictions += 1;
+            }
+            if self.trace.enabled() {
+                self.trace.bump("evictions");
+                if victim.dirty {
+                    self.trace.bump("dirty_evictions");
+                }
+            }
+            Some(Eviction {
+                addr: victim.tag << set_shift,
+                dirty: victim.dirty,
+            })
+        } else {
+            None
+        }
     }
 
     /// Whether the line containing `addr` is present. Does not disturb LRU
@@ -499,8 +587,47 @@ mod tests {
         c.access(0x100, false);
         // Evict LRU (0x000, dirty).
         let ev = c.fill(0x200, false).expect("eviction");
-        assert_eq!(ev, Eviction { addr: 0x000, dirty: true });
+        assert_eq!(
+            ev,
+            Eviction {
+                addr: 0x000,
+                dirty: true
+            }
+        );
         assert_eq!(c.stats().dirty_evictions, 1);
+    }
+
+    #[test]
+    fn prefetched_line_is_first_victim() {
+        let mut c = small();
+        c.fill(0x000, false);
+        c.fill_prefetched(0x100);
+        assert!(c.contains(0x100));
+        // The prefetched line carries an epoch-zero stamp: it loses to every
+        // demand line regardless of insertion order.
+        let ev = c.fill(0x200, false).expect("set full, must evict");
+        assert_eq!(ev.addr, 0x100);
+        assert!(c.contains(0x000));
+        assert_eq!(c.stats().prefetch_fills, 1);
+    }
+
+    #[test]
+    fn prefetching_resident_line_keeps_state_and_counts_nothing() {
+        let mut c = small();
+        c.fill(0x000, false);
+        c.access(0x000, true);
+        assert!(c.fill_prefetched(0x000).is_none());
+        assert!(
+            c.is_dirty(0x000),
+            "resident prefetch must not clear dirty state"
+        );
+        assert_eq!(c.stats().prefetch_fills, 0);
+        // And its stamp was not demoted to the prefetch epoch: a genuinely
+        // prefetched sibling loses the eviction race against it.
+        c.fill_prefetched(0x100);
+        let ev = c.fill(0x200, false).expect("eviction");
+        assert_eq!(ev.addr, 0x100);
+        assert!(c.contains(0x000));
     }
 
     #[test]

@@ -19,6 +19,9 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Displaced lines that were dirty (writebacks).
     pub dirty_evictions: u64,
+    /// Lines inserted by [`fill_prefetched`](crate::SetAssocCache::fill_prefetched)
+    /// (LRU-position speculative fills; already-resident prefetches not counted).
+    pub prefetch_fills: u64,
 }
 
 impl CacheStats {

@@ -22,7 +22,13 @@ pub struct MemTiming {
 
 impl Default for MemTiming {
     fn default() -> Self {
-        MemTiming { pcm_read: 610, pcm_write: 782, metadata_cache: 2, hash: 40, aes: 24 }
+        MemTiming {
+            pcm_read: 610,
+            pcm_write: 782,
+            metadata_cache: 2,
+            hash: 40,
+            aes: 24,
+        }
     }
 }
 
@@ -40,7 +46,10 @@ pub struct WriteQueueConfig {
 
 impl Default for WriteQueueConfig {
     fn default() -> Self {
-        WriteQueueConfig { banks: 8, depth: 32 }
+        WriteQueueConfig {
+            banks: 8,
+            depth: 32,
+        }
     }
 }
 
@@ -78,6 +87,21 @@ pub struct SecureMemoryConfig {
     pub encryption_key: [u8; 16],
     /// On-chip integrity (HMAC) key.
     pub integrity_key: [u8; 32],
+    /// Capacity of the lazy MAC-verify queue: leaf (data-MAC) checks are
+    /// deferred and drained in batches through the multi-lane hash engine
+    /// ([`amnt_crypto::mac64_batch`]). `0` verifies eagerly (the scalar
+    /// path). The queue is always flushed before any commit, crash
+    /// classification, or epoch boundary — no unverified read can influence
+    /// persisted state — and it is a *host-side* batching optimisation:
+    /// simulated timing, stats, and artifacts are byte-identical at any
+    /// queue depth (pinned by the bench determinism test).
+    pub verify_queue: usize,
+    /// Prefetch the next sequential block's counter and HMAC lines (and,
+    /// transitively, their subtree path into the trusted-ancestor cache) on
+    /// detected sequential access. Off by default: prefetching perturbs
+    /// metadata-cache contents and therefore simulated artifacts; it is an
+    /// opt-in study knob (`AMNT_PREFETCH=1` in the sim config loaders).
+    pub subtree_prefetch: bool,
 }
 
 impl SecureMemoryConfig {
@@ -98,6 +122,8 @@ impl SecureMemoryConfig {
             parallel_path_fetch: false,
             encryption_key: *b"midsummer-ctr-k!",
             integrity_key: *b"midsummer-integrity-hmac-key-32b",
+            verify_queue: 8,
+            subtree_prefetch: false,
         }
     }
 

@@ -22,8 +22,8 @@
 
 use crate::config::SecureMemoryConfig;
 use crate::error::IntegrityError;
-use crate::protocol::{AmntState, AnubisState, BmfState, OsirisState, ProtocolKind};
 use crate::protocol::ProtocolState;
+use crate::protocol::{AmntState, AnubisState, BmfState, OsirisState, ProtocolKind};
 use crate::stats::{ControllerStats, StatsSnapshot};
 use crate::timing::MemoryTimeline;
 use crate::untimed::NvmUntimed;
@@ -82,6 +82,34 @@ pub struct SecureMemory {
     /// Absolute cycle at which the current trace epoch ends (0 = epoch
     /// clock not yet anchored; anchored lazily at the first traced op).
     trace_epoch_next: u64,
+    /// Deferred leaf-MAC checks (the lazy verify queue). Bounded by
+    /// `config.verify_queue`; drained in batches through the multi-lane
+    /// hash engine. Volatile read-side speculation state: never persisted,
+    /// discarded wholesale on [`SecureMemory::crash`]. The simulated hash
+    /// latency and `stats.hashes` are charged at *enqueue*, exactly as the
+    /// eager path charges them, so artifacts are depth-independent; only
+    /// the host-side MAC computation is deferred.
+    verify_queue: Vec<PendingVerify>,
+    /// A deferred verification failure detected where no error can be
+    /// returned (the trace epoch tick): the offending address, surfaced as
+    /// [`IntegrityError::DataMac`] at the next operation entry.
+    verify_poison: Option<u64>,
+    /// Last data-block address read (sequential-stream detector for
+    /// subtree-path prefetch).
+    prefetch_last: Option<u64>,
+    /// Whether the current metadata fetch is a speculative prefetch
+    /// (routes [`SecureMemory::meta_fill`] to the cache's LRU-position
+    /// prefetch insert instead of an MRU demand fill).
+    prefetching: bool,
+}
+
+/// One deferred leaf-MAC check: the flattened authenticated message (see
+/// [`amnt_bmt::BmtHasher::data_mac_message`]) and the MAC the media stored.
+#[derive(Debug, Clone, Copy)]
+struct PendingVerify {
+    addr: u64,
+    msg: [u8; amnt_crypto::DATA_MAC_MSG_LEN],
+    stored_mac: u64,
 }
 
 /// What kind of metadata child a verification walk starts from.
@@ -98,8 +126,10 @@ impl SecureMemory {
     ///
     /// Returns [`IntegrityError::Device`] for impossible geometry.
     pub fn new(config: SecureMemoryConfig, kind: ProtocolKind) -> Result<Self, IntegrityError> {
-        let geometry = BmtGeometry::new(config.data_capacity)
-            .map_err(|_| IntegrityError::OutOfRange { addr: config.data_capacity })?;
+        let geometry =
+            BmtGeometry::new(config.data_capacity).map_err(|_| IntegrityError::OutOfRange {
+                addr: config.data_capacity,
+            })?;
         let metadata_cache = SetAssocCache::new(config.metadata_cache)
             .map_err(|_| IntegrityError::OutOfRange { addr: 0 })?;
         let aux_base = geometry.total_size().next_multiple_of(PAGE_SIZE);
@@ -149,6 +179,10 @@ impl SecureMemory {
             tracer: amnt_trace::Tracer::default(),
             trace_epoch_base: StatsSnapshot::default(),
             trace_epoch_next: 0,
+            verify_queue: Vec::with_capacity(config.verify_queue),
+            verify_poison: None,
+            prefetch_last: None,
+            prefetching: false,
             nvm,
             kind,
             config,
@@ -238,6 +272,12 @@ impl SecureMemory {
         }
         let completed = t / epoch_cycles;
         let end_cycle = completed * epoch_cycles;
+        // Epoch-boundary flush: deferred MAC checks may not cross a sampled
+        // boundary. This context cannot return an error, so a mismatch
+        // poisons the controller and surfaces at the next operation entry.
+        if let Err(IntegrityError::DataMac { addr }) = self.drain_verify_queue() {
+            self.verify_poison.get_or_insert(addr);
+        }
         let snap = self.snapshot();
         let wpq_hw = self.timeline.take_wpq_high_water() as u64;
         let stale = self.persisted_images.len() as u64;
@@ -271,15 +311,27 @@ impl SecureMemory {
             ("hashes", c.hashes - b.hashes),
             ("subtree_hits", c.subtree_hits - b.subtree_hits),
             ("subtree_misses", c.subtree_misses - b.subtree_misses),
-            ("subtree_transitions", c.subtree_transitions - b.subtree_transitions),
-            ("counter_overflows", c.counter_overflows - b.counter_overflows),
+            (
+                "subtree_transitions",
+                c.subtree_transitions - b.subtree_transitions,
+            ),
+            (
+                "counter_overflows",
+                c.counter_overflows - b.counter_overflows,
+            ),
             ("shadow_writes", c.shadow_writes - b.shadow_writes),
             ("meta_cache_hits", mc.hits - mb.hits),
             ("meta_cache_misses", mc.misses - mb.misses),
             ("media_reads", tl.reads - tb.reads),
             ("media_writes", tl.writes - tb.writes),
-            ("queue_stall_cycles", tl.queue_stall_cycles - tb.queue_stall_cycles),
-            ("bank_wait_cycles", tl.bank_wait_cycles - tb.bank_wait_cycles),
+            (
+                "queue_stall_cycles",
+                tl.queue_stall_cycles - tb.queue_stall_cycles,
+            ),
+            (
+                "bank_wait_cycles",
+                tl.bank_wait_cycles - tb.bank_wait_cycles,
+            ),
             ("wpq_high_water", wpq_high_water),
             ("stale_lines", stale_lines),
         ]
@@ -307,7 +359,12 @@ impl SecureMemory {
             values: fields.iter().map(|(_, v)| *v).collect(),
         });
         let op_index = snap.controller.data_reads + snap.controller.data_writes;
-        report.absorb_component("meta_cache", self.metadata_cache.trace(), end_cycle, op_index);
+        report.absorb_component(
+            "meta_cache",
+            self.metadata_cache.trace(),
+            end_cycle,
+            op_index,
+        );
         report.absorb_component("nvm", self.nvm.trace(), end_cycle, op_index);
         Some(report)
     }
@@ -322,8 +379,10 @@ impl SecureMemory {
         self.tracer.add("recovery.nvm_reads", r.nvm_reads);
         self.tracer.add("recovery.bytes_read", r.bytes_read);
         self.tracer.add("recovery.nvm_writes", r.nvm_writes);
-        self.tracer.add("recovery.counters_recovered", r.counters_recovered);
-        self.tracer.add("recovery.nodes_recomputed", r.nodes_recomputed);
+        self.tracer
+            .add("recovery.counters_recovered", r.counters_recovered);
+        self.tracer
+            .add("recovery.nodes_recomputed", r.nodes_recomputed);
         let ts = self.tracer.last_ts();
         self.tracer.instant(
             ts,
@@ -381,7 +440,15 @@ impl SecureMemory {
     /// shadow-table slot cannot be written (power failing, aux region
     /// misconfigured).
     fn meta_fill(&mut self, mut t: u64, addr: u64, dirty: bool) -> Result<u64, IntegrityError> {
-        if let Some(ev) = self.metadata_cache.fill(addr, dirty) {
+        // Speculative (prefetch) fills land at LRU position so a wrong
+        // guess never displaces more than one way of demand state.
+        let filled = if self.prefetching {
+            debug_assert!(!dirty, "prefetches never dirty lines");
+            self.metadata_cache.fill_prefetched(addr)
+        } else {
+            self.metadata_cache.fill(addr, dirty)
+        };
+        if let Some(ev) = filled {
             if ev.dirty {
                 // Lazy writeback: the line's current image becomes persisted.
                 // Under the modeling contract the NVM already holds the
@@ -465,16 +532,21 @@ impl SecureMemory {
                     let mac = self.bmt.hasher().counter_mac(&bytes, index);
                     self.stats.hashes += 1;
                     t += self.config.timing.hash;
-                    (bytes, mac, (index % TREE_ARITY) as usize, g.counter_parent(index))
+                    (
+                        bytes,
+                        mac,
+                        (index % TREE_ARITY) as usize,
+                        g.counter_parent(index),
+                    )
                 }
                 ChildRef::Node(node) => {
                     let bytes = self.nvm.read_block_untimed(g.node_addr(node))?;
                     let mac = self.bmt.hasher().node_mac(&bytes, node);
                     self.stats.hashes += 1;
                     t += self.config.timing.hash;
-                    let parent = g
-                        .parent(node)
-                        .ok_or(IntegrityError::Invariant { what: "stored node has a parent" })?;
+                    let parent = g.parent(node).ok_or(IntegrityError::Invariant {
+                        what: "stored node has a parent",
+                    })?;
                     (bytes, mac, g.child_slot(node), parent)
                 }
             };
@@ -512,8 +584,7 @@ impl SecureMemory {
                 }
             }
             let addr = g.node_addr(cur);
-            let cached =
-                self.config.trusted_ancestor_caching && self.metadata_cache.contains(addr);
+            let cached = self.config.trusted_ancestor_caching && self.metadata_cache.contains(addr);
             let bytes = if cached {
                 self.metadata_cache.access(addr, false);
                 t += self.config.timing.metadata_cache;
@@ -544,14 +615,18 @@ impl SecureMemory {
             t += self.config.timing.hash;
             child_bytes = bytes;
             slot = g.child_slot(cur);
-            cur = g
-                .parent(cur)
-                .ok_or(IntegrityError::Invariant { what: "stored node has a parent" })?;
+            cur = g.parent(cur).ok_or(IntegrityError::Invariant {
+                what: "stored node has a parent",
+            })?;
         }
     }
 
     /// Fetches (and if necessary verifies + caches) counter block `index`.
-    fn fetch_counter(&mut self, mut t: u64, index: u64) -> Result<(CounterBlock, u64), IntegrityError> {
+    fn fetch_counter(
+        &mut self,
+        mut t: u64,
+        index: u64,
+    ) -> Result<(CounterBlock, u64), IntegrityError> {
         let addr = self.bmt.geometry().counter_addr(index);
         if self.metadata_cache.access(addr, false).hit {
             t += self.config.timing.metadata_cache;
@@ -596,6 +671,128 @@ impl SecureMemory {
         Ok((u64::from_be_bytes(buf), t))
     }
 
+    // ------------------------------------------------------------------
+    // Lazy verify queue + subtree-path prefetch
+    // ------------------------------------------------------------------
+
+    /// Drains the lazy verify queue through the multi-lane batch engine
+    /// ([`amnt_crypto::mac64_batch`]), in FIFO batches of up to
+    /// [`amnt_crypto::LANES`]. On a mismatch the whole queue is discarded
+    /// (fail-stop) and the first failing address in queue order is
+    /// reported as [`IntegrityError::DataMac`].
+    fn drain_verify_queue(&mut self) -> Result<(), IntegrityError> {
+        while !self.verify_queue.is_empty() {
+            let n = self.verify_queue.len().min(amnt_crypto::LANES);
+            let macs = {
+                let batch = &self.verify_queue[..n];
+                let hmac = self.bmt.hasher().hmac();
+                // Unused lanes replay the last entry; their results are
+                // ignored below.
+                let items: [(&amnt_crypto::HmacSha256, &[u8]); amnt_crypto::LANES] =
+                    core::array::from_fn(|l| (hmac, &batch[l.min(n - 1)].msg[..]));
+                amnt_crypto::mac64_batch(&items)
+            };
+            if self.tracer.enabled() {
+                self.tracer.record("verify_queue.drain_batch", n as u64);
+            }
+            for (l, mac) in macs.iter().enumerate().take(n) {
+                if *mac != self.verify_queue[l].stored_mac {
+                    let addr = self.verify_queue[l].addr;
+                    self.verify_queue.clear();
+                    return Err(IntegrityError::DataMac { addr });
+                }
+            }
+            self.verify_queue.drain(..n);
+        }
+        Ok(())
+    }
+
+    /// Surfaces a verification failure deferred from a context that could
+    /// not return an error (the trace epoch tick).
+    fn take_verify_poison(&mut self) -> Result<(), IntegrityError> {
+        match self.verify_poison.take() {
+            Some(addr) => Err(IntegrityError::DataMac { addr }),
+            None => Ok(()),
+        }
+    }
+
+    /// Completes every deferred leaf-MAC check before returning (or
+    /// fail-stops on the first mismatch). Called at every commit point —
+    /// write entry, audit, epoch boundary — upholding the pipeline's hard
+    /// invariant: **no unverified read ever influences persisted state**.
+    ///
+    /// # Errors
+    ///
+    /// [`IntegrityError::DataMac`] for the first deferred check that fails.
+    pub fn flush_verify_queue(&mut self) -> Result<(), IntegrityError> {
+        self.take_verify_poison()?;
+        self.drain_verify_queue()
+    }
+
+    /// Deferred (queued, not yet host-verified) leaf-MAC checks outstanding.
+    pub fn verify_queue_len(&self) -> usize {
+        self.verify_queue.len()
+    }
+
+    /// [`Self::read_block`] followed by [`Self::flush_verify_queue`]:
+    /// returns only once this block's MAC check has actually run. This is
+    /// the tamper-detection entry point — with a non-zero queue depth,
+    /// plain `read_block` may defer the check and report the mismatch at a
+    /// later drain instead.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Self::read_block`].
+    pub fn read_block_verified(
+        &mut self,
+        now: u64,
+        addr: u64,
+    ) -> Result<([u8; BLOCK_SIZE], u64), IntegrityError> {
+        let (data, t) = self.read_block(now, addr)?;
+        self.flush_verify_queue()?;
+        Ok((data, t))
+    }
+
+    /// Sequential-stream subtree-path prefetch: on a detected `+64 B`
+    /// stride, speculatively pull the *next* block's counter and HMAC
+    /// lines through the normal fetch-and-verify path. `verify_up` caches
+    /// the ancestor chain as a side effect, so one prefetch warms the
+    /// whole predicted subtree path and subsequent reads only enqueue MAC
+    /// checks (filling batch lanes without demand stalls). Fills land at
+    /// LRU position ([`SetAssocCache::fill_prefetched`]), bank occupancy
+    /// is real (the timeline read is issued), and the completion time is
+    /// discarded — the core never waits on a prefetch.
+    fn maybe_prefetch(&mut self, now: u64, addr: u64) -> Result<(), IntegrityError> {
+        if !self.config.subtree_prefetch {
+            return Ok(());
+        }
+        let sequential = self.prefetch_last == Some(addr.wrapping_sub(BLOCK_SIZE as u64));
+        self.prefetch_last = Some(addr);
+        let next = addr + BLOCK_SIZE as u64;
+        if !sequential || !self.bmt.geometry().is_data_addr(next) {
+            return Ok(());
+        }
+        let index = self.bmt.geometry().counter_index(next);
+        let ctr_addr = self.bmt.geometry().counter_addr(index);
+        let hmac_line = self.bmt.geometry().hmac_addr(next) & !(BLOCK_SIZE as u64 - 1);
+        if self.metadata_cache.contains(ctr_addr) && self.metadata_cache.contains(hmac_line) {
+            return Ok(());
+        }
+        self.stats.prefetches += 1;
+        if self.tracer.enabled() {
+            self.tracer.add("prefetch.issued", 1);
+        }
+        self.prefetching = true;
+        let result = self
+            .fetch_counter(now, index)
+            .and_then(|(_, t)| self.fetch_hmac(t, next));
+        self.prefetching = false;
+        // A prefetch that *fails verification* is a real tamper signal —
+        // the media lied about a line we were about to trust — so it
+        // propagates instead of being swallowed with the timing.
+        result.map(|_| ())
+    }
+
     fn validate_data_addr(&self, addr: u64) -> Result<(), IntegrityError> {
         if !addr.is_multiple_of(BLOCK_SIZE as u64) || !self.bmt.geometry().is_data_addr(addr) {
             return Err(IntegrityError::OutOfRange { addr });
@@ -621,7 +818,9 @@ impl SecureMemory {
         addr: u64,
     ) -> Result<([u8; BLOCK_SIZE], u64), IntegrityError> {
         self.validate_data_addr(addr)?;
+        self.take_verify_poison()?;
         self.stats.data_reads += 1;
+        self.maybe_prefetch(now, addr)?;
         // Data fetch and counter/HMAC fetches proceed in parallel.
         let data_done = self.timeline.read(now, addr);
         let ct = self.nvm.read_block_untimed(addr)?;
@@ -635,23 +834,44 @@ impl SecureMemory {
         if major == 0 && minor == 0 && stored_mac == 0 && ct.iter().all(|&b| b == 0) {
             self.stats.wait_cycles += t - now;
             if self.tracer.enabled() {
-                self.tracer.span(now, t - now, "read", "op", &[("addr", addr)]);
+                self.tracer
+                    .span(now, t - now, "read", "op", &[("addr", addr)]);
                 self.tracer.record("read.wait", t - now);
                 self.trace_tick(t);
             }
             return Ok(([0u8; BLOCK_SIZE], t));
         }
-        let mac = self.bmt.hasher().data_mac(&ct, addr, major, minor);
+        // The hash engine's latency and the hash count are charged here in
+        // both modes — deferral batches the *host* computation, never the
+        // modelled hardware, so artifacts are identical at any queue depth.
         self.stats.hashes += 1;
         t += self.config.timing.hash;
-        if mac != stored_mac {
-            return Err(IntegrityError::DataMac { addr });
+        if self.config.verify_queue == 0 {
+            let mac = self.bmt.hasher().data_mac(&ct, addr, major, minor);
+            if mac != stored_mac {
+                return Err(IntegrityError::DataMac { addr });
+            }
+        } else {
+            let msg = self.bmt.hasher().data_mac_message(&ct, addr, major, minor);
+            self.verify_queue.push(PendingVerify {
+                addr,
+                msg,
+                stored_mac,
+            });
+            if self.tracer.enabled() {
+                self.tracer
+                    .record("verify_queue.depth", self.verify_queue.len() as u64);
+            }
+            if self.verify_queue.len() >= self.config.verify_queue {
+                self.drain_verify_queue()?;
+            }
         }
         // The OTP is generated during the fetch; only the XOR remains.
         let pt = self.engine.decrypt_block(addr, major, minor, &ct);
         self.stats.wait_cycles += t - now;
         if self.tracer.enabled() {
-            self.tracer.span(now, t - now, "read", "op", &[("addr", addr)]);
+            self.tracer
+                .span(now, t - now, "read", "op", &[("addr", addr)]);
             self.tracer.record("read.wait", t - now);
             self.trace_tick(t);
         }
@@ -739,6 +959,9 @@ impl SecureMemory {
         data: &[u8; BLOCK_SIZE],
     ) -> Result<u64, IntegrityError> {
         self.validate_data_addr(addr)?;
+        // Flush-before-commit: every leaf-MAC check deferred by earlier
+        // reads must complete before this write mutates persisted state.
+        self.flush_verify_queue()?;
         self.stats.data_writes += 1;
         let trace_hits_before = self.stats.subtree_hits;
         let trace_misses_before = self.stats.subtree_misses;
@@ -774,8 +997,13 @@ impl SecureMemory {
         }
 
         // Encrypt, MAC, and update the leaf metadata contents.
-        let ct = self.engine.encrypt_block(addr, counter.major(), counter.minor(slot), data);
-        let mac = self.bmt.hasher().data_mac(&ct, addr, counter.major(), counter.minor(slot));
+        let ct = self
+            .engine
+            .encrypt_block(addr, counter.major(), counter.minor(slot), data);
+        let mac = self
+            .bmt
+            .hasher()
+            .data_mac(&ct, addr, counter.major(), counter.minor(slot));
         self.stats.hashes += 2; // data MAC + pad generation amortised
         if let Err(e) = self.nvm.write_block_untimed(addr, &ct) {
             if reencrypting {
@@ -793,9 +1021,7 @@ impl SecureMemory {
         // in parallel (a hardware write transaction).
         let strict_like = match &self.protocol {
             ProtocolState::Strict => true,
-            ProtocolState::Amnt(s) => {
-                !s.covers(g.subtree_index(addr, s.level))
-            }
+            ProtocolState::Amnt(s) => !s.covers(g.subtree_index(addr, s.level)),
             _ => false,
         };
         // The remaining leaf content updates belong to the re-encryption
@@ -803,7 +1029,14 @@ impl SecureMemory {
         // the re-encrypted page); the bracket closes exactly once whether
         // they succeed or not.
         let leaf = self.write_block_leaf_meta(
-            t, index, hmac_line, hmac_addr, counter_addr, &counter, mac, force_counter_persist,
+            t,
+            index,
+            hmac_line,
+            hmac_addr,
+            counter_addr,
+            &counter,
+            mac,
+            force_counter_persist,
         );
         if reencrypting {
             self.nvm.end_atomic();
@@ -904,9 +1137,7 @@ impl SecureMemory {
         }
         // Decide leaf persistence per protocol.
         let (persist_data, persist_hmac, persist_counter, blocking) = match &mut self.protocol {
-            ProtocolState::Volatile | ProtocolState::Battery(_) => {
-                (false, false, false, false)
-            }
+            ProtocolState::Volatile | ProtocolState::Battery(_) => (false, false, false, false),
             ProtocolState::Strict
             | ProtocolState::Leaf
             | ProtocolState::Plp
@@ -933,11 +1164,13 @@ impl SecureMemory {
         if !persist_hmac {
             self.snapshot_before_lazy_update(hmac_line)?;
         }
-        self.nvm.write_bytes_untimed(hmac_addr, &mac.to_be_bytes())?;
+        self.nvm
+            .write_bytes_untimed(hmac_addr, &mac.to_be_bytes())?;
         if !persist_counter {
             self.snapshot_before_lazy_update(counter_addr)?;
         }
-        self.nvm.write_block_untimed(counter_addr, &counter.encode())?;
+        self.nvm
+            .write_block_untimed(counter_addr, &counter.encode())?;
         Ok((persist_data, persist_hmac, persist_counter, blocking, t))
     }
 
@@ -961,7 +1194,10 @@ impl SecureMemory {
             let region = g.subtree_index(data_addr, s.level);
             if s.covers(region) {
                 self.stats.subtree_hits += 1;
-                Some(NodeId { level: s.level, index: region })
+                Some(NodeId {
+                    level: s.level,
+                    index: region,
+                })
             } else {
                 self.stats.subtree_misses += 1;
                 None
@@ -979,9 +1215,7 @@ impl SecureMemory {
 
         let strict_nodes = matches!(
             (&self.protocol, amnt_target),
-            (ProtocolState::Strict, _)
-                | (ProtocolState::Plp, _)
-                | (ProtocolState::Amnt(_), None)
+            (ProtocolState::Strict, _) | (ProtocolState::Plp, _) | (ProtocolState::Amnt(_), None)
         );
         // PLP issues its per-level persists in parallel: no ordering chain.
         let ordered_chain = !matches!(self.protocol, ProtocolState::Plp);
@@ -1020,8 +1254,7 @@ impl SecureMemory {
 
             t = self.ensure_node(t, node)?;
             let addr = g.node_addr(node);
-            let persist_here = strict_nodes
-                || matches!(&self.protocol, ProtocolState::Bmf(_)); // below cover: write-through
+            let persist_here = strict_nodes || matches!(&self.protocol, ProtocolState::Bmf(_)); // below cover: write-through
             let mut image = self.nvm.read_block_untimed(addr)?;
             if !persist_here {
                 self.snapshot_before_lazy_update(addr)?;
@@ -1129,22 +1362,32 @@ impl SecureMemory {
     fn amnt_elect(&mut self, mut t: u64) -> Result<u64, IntegrityError> {
         let g = self.bmt.geometry().clone();
         let (level, winner, incumbent) = match &self.protocol {
-            ProtocolState::Amnt(s) => {
-                (s.level, s.history.hottest(), s.register.map(|(id, _)| id))
-            }
+            ProtocolState::Amnt(s) => (s.level, s.history.hottest(), s.register.map(|(id, _)| id)),
             _ => return Ok(t),
         };
         let winner = match winner {
             Some(w) => w,
             None => return Ok(t),
         };
-        let winner_id = NodeId { level, index: winner };
+        let winner_id = NodeId {
+            level,
+            index: winner,
+        };
         if incumbent == Some(winner_id) {
             if let ProtocolState::Amnt(s) = &mut self.protocol {
                 s.history.start_interval(Some(winner));
             }
             return Ok(t);
         }
+        // A transition republishes subtree state into the persistent global
+        // path — a commit point. The write path flushed the verify queue at
+        // entry and reads cannot run concurrently, so it must still be
+        // empty here; a deferred check crossing a transition would violate
+        // the flush-before-commit invariant (see `protocol::amnt`).
+        debug_assert!(
+            self.verify_queue.is_empty(),
+            "verify queue not flushed at AMNT subtree transition"
+        );
         self.stats.subtree_transitions += 1;
         if self.tracer.enabled() {
             // `old` is u64::MAX for the first election (no incumbent yet).
@@ -1361,7 +1604,8 @@ impl SecureMemory {
             }
         }
         if let ProtocolState::Bmf(s) = &mut self.protocol {
-            s.roots.insert(parent, crate::protocol::bmf_entry(parent_image));
+            s.roots
+                .insert(parent, crate::protocol::bmf_entry(parent_image));
         }
         t += self.config.timing.hash;
         self.stats.bmf_merges += 1;
@@ -1399,12 +1643,15 @@ impl SecureMemory {
                 continue; // untouched block
             }
             self.timeline.read(t, addr);
-            let pt = self.engine.decrypt_block(addr, old.major(), old.minor(slot), &ct);
+            let pt = self
+                .engine
+                .decrypt_block(addr, old.major(), old.minor(slot), &ct);
             let new_ct = self.engine.encrypt_block(addr, new.major(), 0, &pt);
             let new_mac = self.bmt.hasher().data_mac(&new_ct, addr, new.major(), 0);
             self.stats.hashes += 1;
             self.nvm.write_block_untimed(addr, &new_ct)?;
-            self.nvm.write_bytes_untimed(hmac_addr, &new_mac.to_be_bytes())?;
+            self.nvm
+                .write_bytes_untimed(hmac_addr, &new_mac.to_be_bytes())?;
             self.timeline.write(t, addr, 0);
             let hmac_line = hmac_addr & !(BLOCK_SIZE as u64 - 1);
             self.timeline.write(t, hmac_line, 0);
@@ -1438,13 +1685,21 @@ impl SecureMemory {
     /// root set) survive. Dirty metadata lines roll back to their last
     /// persisted images.
     pub fn crash(&mut self) {
+        // The verify queue is volatile read-side speculation: deferred
+        // checks die with power. Reads never mutate persisted state (the
+        // flush-before-commit invariant), so discarding them loses nothing
+        // durable — the fault sweep's `verify_queue` crash-point class
+        // proves any tamper they would have caught is still caught by
+        // post-recovery verification.
+        self.verify_queue.clear();
+        self.verify_poison = None;
+        self.prefetch_last = None;
         // Battery-backed caches: the residual battery flushes up to its
         // budget of dirty lines before power is lost. A flushed line's
         // current (NVM) image is durable, so its rollback image is dropped.
         if let ProtocolState::Battery(cfg) = &self.protocol {
             let budget = cfg.flush_budget_lines;
-            let flushed: Vec<u64> =
-                self.persisted_images.keys().copied().take(budget).collect();
+            let flushed: Vec<u64> = self.persisted_images.keys().copied().take(budget).collect();
             self.stats.battery_flushes += flushed.len() as u64;
             for addr in flushed {
                 self.persisted_images.remove(&addr);
@@ -1469,12 +1724,18 @@ impl SecureMemory {
                     ts,
                     s.kind_name(),
                     "fault",
-                    &[("ordinal", s.ordinal), ("kind", s.kind as u64), ("op_index", op_index)],
+                    &[
+                        ("ordinal", s.ordinal),
+                        ("kind", s.kind as u64),
+                        ("op_index", op_index),
+                    ],
                 );
             }
             self.tracer.add("crashes", 1);
         }
-        let shadows: Vec<(u64, NodeBytes)> = std::mem::take(&mut self.persisted_images).into_iter().collect();
+        let shadows: Vec<(u64, NodeBytes)> = std::mem::take(&mut self.persisted_images)
+            .into_iter()
+            .collect();
         for (addr, image) in shadows {
             self.nvm.rollback_bytes(addr, &image);
         }
@@ -1521,8 +1782,10 @@ impl SecureMemory {
     ///
     /// Propagates device errors.
     pub fn audit(&mut self) -> Result<bool, IntegrityError> {
+        // An audit is a statement about verified state: settle every
+        // deferred check before vouching for the tree.
+        self.flush_verify_queue()?;
         let root = self.root_register;
         Ok(self.bmt.verify_full(&mut self.nvm, &root)?)
     }
 }
-

@@ -64,8 +64,7 @@ use crate::protocol::ProtocolKind;
 use crate::recovery::{RecoveryModel, RecoveryReport, RecoveryScenario};
 use crate::untimed::UntimedMemory;
 use crate::{
-    AmntConfig, AnubisConfig, BmfConfig, OsirisConfig, SecureMemory, SecureMemoryConfig,
-    BLOCK_SIZE,
+    AmntConfig, AnubisConfig, BmfConfig, OsirisConfig, SecureMemory, SecureMemoryConfig, BLOCK_SIZE,
 };
 use amnt_nvm::{CrashWriteMode, FaultHook, FaultPlan, NvmError, PhasedPlan, TornHalf};
 use amnt_prng::Rng;
@@ -172,6 +171,21 @@ pub struct SweepSummary {
     /// [`RecoveryReport::work`]) than the pass before them — must stay
     /// zero: recovery work is monotonically non-increasing across repeats.
     pub work_regressions: u64,
+    /// Verify-queue crash scenarios explored (op boundaries × target queue
+    /// depths): power is cut while deferred leaf-MAC checks are still
+    /// pending in the lazy verify queue.
+    pub verify_queue_points: u64,
+    /// Verify-queue crashes that recovered with an oracle-exact, fully
+    /// verified read-back.
+    pub verify_queue_recovered: u64,
+    /// Verify-queue crashes where recovery (or strict read-back) returned a
+    /// detected error — counts toward `boundary_deficit`, since these are
+    /// clean boundary crashes that must fully recover.
+    pub verify_queue_detected: u64,
+    /// Silent outcomes among verify-queue crashes — subset of `silent`,
+    /// must stay zero: deferred checks are read-side speculation and
+    /// discarding them at power loss must not lose committed state.
+    pub verify_queue_silent: u64,
 }
 
 /// One workload operation.
@@ -193,7 +207,10 @@ struct Workload {
 
 /// A unique, recognisable payload for op `i`.
 fn value_for(i: usize) -> [u8; BLOCK_SIZE] {
-    let b = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(0x5A5A).to_le_bytes();
+    let b = (i as u64)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(0x5A5A)
+        .to_le_bytes();
     let mut v = [0u8; BLOCK_SIZE];
     for (j, out) in v.iter_mut().enumerate() {
         *out = b[j % 8] ^ (j as u8);
@@ -283,7 +300,18 @@ fn fresh(kind: ProtocolKind, cfg: &FaultSweepConfig) -> Result<SecureMemory, Int
 
 fn apply(mem: &mut SecureMemory, t: u64, op: &Op) -> Result<u64, IntegrityError> {
     match op {
-        Op::Write { addr, value } => mem.write_block(t, *addr, value),
+        Op::Write { addr, value } => {
+            let done = mem.write_block(t, *addr, value)?;
+            // Flush-before-commit, asserted at every committed write: the
+            // write path must have drained every deferred leaf-MAC check
+            // before mutating persisted state.
+            if mem.verify_queue_len() != 0 {
+                return Err(IntegrityError::Invariant {
+                    what: "verify queue flushed before commit",
+                });
+            }
+            Ok(done)
+        }
         Op::Read { addr } => mem.read_block(t, *addr).map(|(_, done)| done),
     }
 }
@@ -330,7 +358,9 @@ fn classify_readback(
     let interrupted = w.interrupted_target(completed);
     let mut reads_detected = 0u64;
     for &addr in w.history.keys() {
-        match mem.read_block(0, addr) {
+        // Classification must observe the MAC verdict for *this* block, so
+        // the verified read flushes the lazy verify queue before returning.
+        match mem.read_block_verified(0, addr) {
             Ok((data, _)) => {
                 let ok = if prefix_loss {
                     w.historical(addr, &data, completed + 1)
@@ -434,13 +464,17 @@ fn crash_and_classify(
 /// [`IntegrityError`] only for workload-construction failures (impossible
 /// geometry) or an integrity failure *before* any fault fired — both
 /// indicate a broken controller, not a fault-model outcome.
-pub fn run_sweep(kind: ProtocolKind, cfg: &FaultSweepConfig) -> Result<SweepSummary, IntegrityError> {
+pub fn run_sweep(
+    kind: ProtocolKind,
+    cfg: &FaultSweepConfig,
+) -> Result<SweepSummary, IntegrityError> {
     let w = generate(cfg);
 
     // Phase 1: count device-write ordinals, record each op's boundary, and
     // collect the eviction-writeback ordinal class.
     let mut mem = fresh(kind, cfg)?;
-    mem.nvm_mut().arm_fault_hook(Box::new(FaultPlan::count_only()));
+    mem.nvm_mut()
+        .arm_fault_hook(Box::new(FaultPlan::count_only()));
     let mut t = 0;
     let mut boundaries = Vec::with_capacity(w.ops.len());
     for op in &w.ops {
@@ -448,8 +482,12 @@ pub fn run_sweep(kind: ProtocolKind, cfg: &FaultSweepConfig) -> Result<SweepSumm
         boundaries.push(mem.nvm_mut().device_write_ordinals());
     }
     let total = boundaries.last().copied().unwrap_or(0);
-    let evict_ordinals: BTreeSet<u64> =
-        mem.nvm_mut().eviction_write_ordinals().iter().copied().collect();
+    let evict_ordinals: BTreeSet<u64> = mem
+        .nvm_mut()
+        .eviction_write_ordinals()
+        .iter()
+        .copied()
+        .collect();
 
     let mut s = SweepSummary {
         crash_points: total,
@@ -547,13 +585,19 @@ pub fn run_sweep(kind: ProtocolKind, cfg: &FaultSweepConfig) -> Result<SweepSumm
         }
         for half in [TornHalf::First, TornHalf::Last] {
             let plan = FaultPlan::torn_after(k, half);
-            let (mut mem, completed, faulted) =
-                replay(kind, cfg, &w, Box::new(plan), w.ops.len())?;
+            let (mut mem, completed, faulted) = replay(kind, cfg, &w, Box::new(plan), w.ops.len())?;
             if !faulted {
                 continue;
             }
-            match crash_and_classify(kind, &mut mem, &w, completed, false, false, &mut s.bounds_violations)
-            {
+            match crash_and_classify(
+                kind,
+                &mut mem,
+                &w,
+                completed,
+                false,
+                false,
+                &mut s.bounds_violations,
+            ) {
                 Outcome::Recovered { reads_detected } => {
                     s.torn_recovered += 1;
                     s.detected_at_read += reads_detected;
@@ -574,14 +618,79 @@ pub fn run_sweep(kind: ProtocolKind, cfg: &FaultSweepConfig) -> Result<SweepSumm
         for &depth in &cfg.tail_depths {
             let (mut mem, completed, _) =
                 replay(kind, cfg, &w, Box::new(FaultPlan::drop_tail(depth)), limit)?;
-            match crash_and_classify(kind, &mut mem, &w, completed, false, true, &mut s.bounds_violations)
-            {
+            match crash_and_classify(
+                kind,
+                &mut mem,
+                &w,
+                completed,
+                false,
+                true,
+                &mut s.bounds_violations,
+            ) {
                 Outcome::Recovered { reads_detected } => {
                     s.tail_recovered += 1;
                     s.detected_at_read += reads_detected;
                 }
                 Outcome::Detected => s.tail_detected += 1,
                 Outcome::Silent => s.silent += 1,
+            }
+        }
+    }
+
+    // Phase 4: power loss with a non-empty lazy verify queue, at every op
+    // boundary and every reachable queue depth. Deferred leaf-MAC checks
+    // are read-side speculation; discarding them at the crash must leave
+    // exactly the committed prefix (these are boundary crashes, so full
+    // recovery is required and any deficit counts). Reading the target
+    // `verify_queue` (cap) times also covers the batch-full drain path —
+    // the queue is empty again at that depth, which is itself a scenario.
+    let queue_cap = fresh(kind, cfg)?.config().verify_queue.max(1);
+    for limit in 1..=w.ops.len() {
+        // An address already committed within the prefix, to stack
+        // deferred checks against.
+        let target = w
+            .history
+            .iter()
+            .find(|(_, h)| h.first().is_some_and(|&(i, _)| i < limit))
+            .map(|(&a, _)| a);
+        let Some(target) = target else { continue };
+        for depth in 1..=queue_cap as u64 {
+            let (mut mem, completed, faulted) =
+                replay(kind, cfg, &w, Box::new(FaultPlan::count_only()), limit)?;
+            debug_assert!(!faulted, "count-only replay never faults");
+            // Trailing workload reads may have left deferred checks of
+            // their own; depth accounting starts from that base.
+            let base = mem.verify_queue_len() as u64;
+            let mut t = 0;
+            for _ in 0..depth {
+                let (_, done) = mem.read_block(t, target)?;
+                t = done;
+            }
+            debug_assert_eq!(
+                mem.verify_queue_len() as u64,
+                (base + depth) % queue_cap as u64,
+                "queue depth after {depth} reads from base {base} at cap {queue_cap}"
+            );
+            s.verify_queue_points += 1;
+            match crash_and_classify(
+                kind,
+                &mut mem,
+                &w,
+                completed,
+                true,
+                false,
+                &mut s.bounds_violations,
+            ) {
+                Outcome::Recovered { .. } => s.verify_queue_recovered += 1,
+                Outcome::Detected => {
+                    s.verify_queue_detected += 1;
+                    s.boundary_deficit += 1;
+                }
+                Outcome::Silent => {
+                    s.silent += 1;
+                    s.verify_queue_silent += 1;
+                    s.boundary_deficit += 1;
+                }
             }
         }
     }
@@ -632,8 +741,7 @@ fn nested_recovery_sweep(
                 CrashWriteMode::Torn(half) => FaultPlan::torn_after(r, half),
             };
             let plan = PhasedPlan::two_phase(FaultPlan::crash_after(k), rplan);
-            let (mut mem, completed, faulted) =
-                replay(kind, cfg, &w, Box::new(plan), w.ops.len())?;
+            let (mut mem, completed, faulted) = replay(kind, cfg, &w, Box::new(plan), w.ops.len())?;
             if !faulted {
                 continue;
             }
@@ -703,8 +811,14 @@ pub fn sweep_protocols() -> Vec<(&'static str, ProtocolKind)> {
     vec![
         ("strict", ProtocolKind::Strict),
         ("leaf", ProtocolKind::Leaf),
-        ("osiris", ProtocolKind::Osiris(OsirisConfig { stop_loss: 3 })),
-        ("anubis", ProtocolKind::Anubis(AnubisConfig { stop_loss: 3 })),
+        (
+            "osiris",
+            ProtocolKind::Osiris(OsirisConfig { stop_loss: 3 }),
+        ),
+        (
+            "anubis",
+            ProtocolKind::Anubis(AnubisConfig { stop_loss: 3 }),
+        ),
         (
             "bmf",
             ProtocolKind::Bmf(BmfConfig {
@@ -743,7 +857,10 @@ mod tests {
         let cfg = FaultSweepConfig::default();
         let w = generate(&cfg);
         for (addr, hist) in &w.history {
-            assert!(hist.windows(2).all(|p| p[0].0 < p[1].0), "history sorted at {addr:#x}");
+            assert!(
+                hist.windows(2).all(|p| p[0].0 < p[1].0),
+                "history sorted at {addr:#x}"
+            );
             let last = hist.last().map(|(_, v)| v);
             assert_eq!(w.expected(*addr, cfg.ops), last);
         }
@@ -764,12 +881,16 @@ mod tests {
 
     #[test]
     fn phase_one_counts_are_stable() {
-        let cfg = FaultSweepConfig { ops: 8, ..FaultSweepConfig::default() };
+        let cfg = FaultSweepConfig {
+            ops: 8,
+            ..FaultSweepConfig::default()
+        };
         let w = generate(&cfg);
         let mut totals = Vec::new();
         for _ in 0..2 {
             let mut mem = fresh(ProtocolKind::Leaf, &cfg).expect("controller");
-            mem.nvm_mut().arm_fault_hook(Box::new(FaultPlan::count_only()));
+            mem.nvm_mut()
+                .arm_fault_hook(Box::new(FaultPlan::count_only()));
             let mut t = 0;
             for op in &w.ops {
                 t = apply(&mut mem, t, op).expect("op");

@@ -12,10 +12,10 @@
 //! consistent) and runs AMNT's bounded recovery on the SCM side.
 
 use crate::config::{MemTiming, SecureMemoryConfig};
+use crate::controller::{SecureMemory, BLOCK_SIZE};
 use crate::error::{IntegrityError, RecoveryError};
 use crate::protocol::{AmntConfig, ProtocolKind};
 use crate::recovery::RecoveryReport;
-use crate::controller::{SecureMemory, BLOCK_SIZE};
 
 /// Configuration for a hybrid machine.
 #[derive(Debug, Clone, PartialEq)]
@@ -38,7 +38,11 @@ impl HybridConfig {
             dram_bytes,
             scm_bytes,
             amnt: AmntConfig::default(),
-            dram_timing: MemTiming { pcm_read: 100, pcm_write: 100, ..MemTiming::default() },
+            dram_timing: MemTiming {
+                pcm_read: 100,
+                pcm_write: 100,
+                ..MemTiming::default()
+            },
         }
     }
 }
@@ -146,6 +150,26 @@ impl HybridMemory {
         }
     }
 
+    /// Like [`Self::read_block`], but the owning engine's lazy verify
+    /// queue is flushed before returning — a MAC mismatch on this block is
+    /// reported here rather than at a later drain.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`IntegrityError`] from the owning engine.
+    pub fn read_block_verified(
+        &mut self,
+        now: u64,
+        addr: u64,
+    ) -> Result<([u8; BLOCK_SIZE], u64), IntegrityError> {
+        match self.partition_of(addr) {
+            Partition::Dram => self.dram.read_block_verified(now, addr),
+            Partition::Scm => self
+                .scm
+                .read_block_verified(now, addr - self.config.dram_bytes),
+        }
+    }
+
     /// Writes the block at `addr` to whichever partition holds it. SCM
     /// writes follow the AMNT persistence protocol; DRAM writes are purely
     /// volatile.
@@ -161,7 +185,9 @@ impl HybridMemory {
     ) -> Result<u64, IntegrityError> {
         match self.partition_of(addr) {
             Partition::Dram => self.dram.write_block(now, addr, data),
-            Partition::Scm => self.scm.write_block(now, addr - self.config.dram_bytes, data),
+            Partition::Scm => self
+                .scm
+                .write_block(now, addr - self.config.dram_bytes, data),
         }
     }
 
@@ -224,12 +250,22 @@ mod tests {
         let mut t = 0;
         for i in 0..200u64 {
             t = m.write_block(t, (i % 32) * 64, &[0xD0; 64]).unwrap();
-            t = m.write_block(t, 4 * MIB + (i % 32) * 64, &[0x5C; 64]).unwrap();
+            t = m
+                .write_block(t, 4 * MIB + (i % 32) * 64, &[0x5C; 64])
+                .unwrap();
         }
         let report = m.crash_and_recover().expect("hybrid recovery");
         assert!(report.verified);
-        assert_eq!(m.read_block(t, 0).unwrap().0, [0u8; 64], "DRAM must be empty");
-        assert_eq!(m.read_block(t, 4 * MIB).unwrap().0, [0x5C; 64], "SCM must survive");
+        assert_eq!(
+            m.read_block(t, 0).unwrap().0,
+            [0u8; 64],
+            "DRAM must be empty"
+        );
+        assert_eq!(
+            m.read_block(t, 4 * MIB).unwrap().0,
+            [0x5C; 64],
+            "SCM must survive"
+        );
     }
 
     #[test]
@@ -238,7 +274,7 @@ mod tests {
         let mut m = hybrid();
         let t = m.write_block(0, 0x2000, &[7; 64]).unwrap();
         m.dram_nvm_tamper(0x2000);
-        assert!(m.read_block(t, 0x2000).is_err());
+        assert!(m.read_block_verified(t, 0x2000).is_err());
     }
 
     #[test]
@@ -246,7 +282,9 @@ mod tests {
         let mut m = hybrid();
         let mut t = 0;
         for i in 0..300u64 {
-            t = m.write_block(t, 4 * MIB + (i % 16) * 64, &[i as u8; 64]).unwrap();
+            t = m
+                .write_block(t, 4 * MIB + (i % 16) * 64, &[i as u8; 64])
+                .unwrap();
         }
         let _ = t;
         assert!(m.scm().subtree_root().is_some());

@@ -18,14 +18,21 @@ pub struct AmntConfig {
 
 impl Default for AmntConfig {
     fn default() -> Self {
-        AmntConfig { subtree_level: 3, interval_writes: 64, history_entries: 64 }
+        AmntConfig {
+            subtree_level: 3,
+            interval_writes: 64,
+            history_entries: 64,
+        }
     }
 }
 
 impl AmntConfig {
     /// Table 1 configuration with the subtree root at `level`.
     pub fn at_level(level: u32) -> Self {
-        AmntConfig { subtree_level: level, ..Self::default() }
+        AmntConfig {
+            subtree_level: level,
+            ..Self::default()
+        }
     }
 }
 
@@ -41,6 +48,11 @@ pub(crate) struct AmntState {
     pub level: u32,
     /// Non-volatile subtree-root register: which node, and its current image.
     /// `None` until the first interval elects a hot region.
+    ///
+    /// Updating or retiring this register is a commit point for the lazy
+    /// verify queue (see the [module docs](super)): the controller asserts
+    /// the queue is empty before a transition republishes the image into
+    /// the persistent global path.
     pub register: Option<(NodeId, NodeBytes)>,
     /// Volatile hot-region history buffer.
     pub history: HistoryBuffer,

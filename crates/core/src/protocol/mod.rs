@@ -12,6 +12,22 @@
 //! | [`Anubis`](ProtocolKind::Anubis) | stop-loss | lazy + shadow table | bounded by cache size |
 //! | [`Bmf`](ProtocolKind::Bmf) | write-through | write-through to NV root set | none needed |
 //! | [`Amnt`](ProtocolKind::Amnt) | write-through | hybrid (lazy in subtree) | bounded by subtree |
+//!
+//! ## Commit points and the lazy verify queue
+//!
+//! The controller may defer leaf (data-MAC) checks in a bounded verify
+//! queue and drain them in batches through the multi-lane hash engine.
+//! Every protocol event that publishes state to persistent media is a
+//! **commit point** at which the queue must be empty: the write path
+//! flushes it at entry (before any counter increment or persist write of
+//! any protocol), an AMNT subtree transition re-asserts emptiness before
+//! republishing the retiring register image, a tree audit settles the
+//! queue before vouching for the root, and a trace epoch boundary drains
+//! it before sampling. A crash simply discards the queue — deferred checks
+//! are read-side speculation and reads never mutate persisted state — so
+//! no protocol's recovery procedure interacts with it. The fault sweep's
+//! verify-queue crash-point class exercises a non-empty queue at every
+//! depth for every protocol and asserts zero silent outcomes.
 
 mod amnt;
 mod anubis;

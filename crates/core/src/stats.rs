@@ -40,6 +40,11 @@ pub struct ControllerStats {
     pub max_stale_lines: u64,
     /// Dirty lines flushed on residual battery at power failure.
     pub battery_flushes: u64,
+    /// Subtree-path prefetches issued on detected sequential access (zero
+    /// unless [`SecureMemoryConfig::subtree_prefetch`] is on).
+    ///
+    /// [`SecureMemoryConfig::subtree_prefetch`]: crate::SecureMemoryConfig::subtree_prefetch
+    pub prefetches: u64,
 }
 
 impl ControllerStats {
@@ -87,7 +92,11 @@ mod tests {
 
     #[test]
     fn hit_rate_computes() {
-        let s = ControllerStats { subtree_hits: 3, subtree_misses: 1, ..Default::default() };
+        let s = ControllerStats {
+            subtree_hits: 3,
+            subtree_misses: 1,
+            ..Default::default()
+        };
         assert_eq!(s.subtree_hit_rate(), 0.75);
     }
 
@@ -103,8 +112,11 @@ mod tests {
         };
         assert_eq!(s.transition_rate(), 0.5);
         // Read-only runs report 0 even if a transition somehow occurred.
-        let read_only =
-            ControllerStats { data_reads: 10, subtree_transitions: 1, ..Default::default() };
+        let read_only = ControllerStats {
+            data_reads: 10,
+            subtree_transitions: 1,
+            ..Default::default()
+        };
         assert_eq!(read_only.transition_rate(), 0.0);
     }
 }

@@ -23,7 +23,9 @@ fn prepared(kind: ProtocolKind) -> SecureMemory {
         // Two distinct pages; enough same-region writes that AMNT elects
         // its fast subtree before the crash.
         let addr = (i % 12) * 64 + (i / 12) * 4096;
-        t = mem.write_block(t, addr, &[0xC3 ^ i as u8; 64]).expect("write");
+        t = mem
+            .write_block(t, addr, &[0xC3 ^ i as u8; 64])
+            .expect("write");
     }
     mem.crash();
     let report = mem.recover().expect("recovery");
@@ -35,19 +37,32 @@ fn prepared(kind: ProtocolKind) -> SecureMemory {
 fn untampered_baseline_reads_and_audits_clean() {
     for (name, kind) in sweep_protocols() {
         let mut mem = prepared(kind);
-        let (data, _) = mem.read_block(0, 0).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let (data, _) = mem
+            .read_block(0, 0)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
         assert_eq!(data, [0xC3; 64], "{name}: wrong baseline data");
-        assert!(mem.audit().unwrap_or_else(|e| panic!("{name}: audit: {e}")), "{name}: audit");
+        assert!(
+            mem.audit().unwrap_or_else(|e| panic!("{name}: audit: {e}")),
+            "{name}: audit"
+        );
     }
 }
 
 #[test]
 fn data_bit_flip_is_detected_on_read() {
+    // The leaf-MAC check may sit in the lazy verify queue, so detection is
+    // asserted through the verified read, which flushes it. A plain
+    // `read_block` would defer the verdict to a later drain — the separate
+    // queue-semantics tests pin that deferred detection is never lost.
     for (name, kind) in sweep_protocols() {
         let mut mem = prepared(kind);
         mem.nvm_mut().tamper_flip_bit(0x20, 3); // mid-block of data block 0
-        let got = mem.read_block(0, 0);
-        assert!(got.is_err(), "{name}: tampered data read back as {:02x?}", got.map(|(d, _)| d[0]));
+        let got = mem.read_block_verified(0, 0);
+        assert!(
+            got.is_err(),
+            "{name}: tampered data read back as {:02x?}",
+            got.map(|(d, _)| d[0])
+        );
     }
 }
 
@@ -77,9 +92,15 @@ fn interior_node_bit_flip_is_detected_on_read() {
     for (name, kind) in sweep_protocols() {
         let mut mem = prepared(kind);
         let bottom = mem.geometry().bottom_level();
-        let node_addr = mem.geometry().node_addr(NodeId { level: bottom, index: 0 });
+        let node_addr = mem.geometry().node_addr(NodeId {
+            level: bottom,
+            index: 0,
+        });
         mem.nvm_mut().tamper_flip_bit(node_addr + 1, 6);
         let got = mem.read_block(0, 0);
-        assert!(got.is_err(), "{name}: tampered tree node went unnoticed on read");
+        assert!(
+            got.is_err(),
+            "{name}: tampered tree node went unnoticed on read"
+        );
     }
 }

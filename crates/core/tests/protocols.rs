@@ -3,8 +3,8 @@
 //! matrix, and protocol-specific behaviours.
 
 use amnt_core::{
-    AmntConfig, AnubisConfig, BmfConfig, IntegrityError, OsirisConfig, ProtocolKind,
-    RecoveryError, SecureMemory, SecureMemoryConfig,
+    AmntConfig, AnubisConfig, BmfConfig, IntegrityError, OsirisConfig, ProtocolKind, RecoveryError,
+    SecureMemory, SecureMemoryConfig,
 };
 
 const MIB: u64 = 1024 * 1024;
@@ -91,7 +91,10 @@ fn data_corruption_detected_under_every_protocol() {
         let t = m.write_block(0, 0x8000, &block(7)).unwrap();
         m.nvm_mut().tamper_flip_bit(0x8000 + 17, 3);
         assert!(
-            matches!(m.read_block(t, 0x8000), Err(IntegrityError::DataMac { .. })),
+            matches!(
+                m.read_block_verified(t, 0x8000),
+                Err(IntegrityError::DataMac { .. })
+            ),
             "{kind}: corruption must be detected"
         );
     }
@@ -103,7 +106,10 @@ fn hmac_corruption_detected() {
     let t = m.write_block(0, 0x8000, &block(7)).unwrap();
     let hmac_addr = m.geometry().hmac_addr(0x8000);
     m.nvm_mut().tamper_flip_bit(hmac_addr, 0);
-    assert!(matches!(m.read_block(t, 0x8000), Err(IntegrityError::DataMac { .. })));
+    assert!(matches!(
+        m.read_block_verified(t, 0x8000),
+        Err(IntegrityError::DataMac { .. })
+    ));
 }
 
 #[test]
@@ -124,7 +130,10 @@ fn replay_attack_detected() {
     m.nvm_mut().write_block(addr, &old_ct).unwrap();
     m.nvm_mut().write_bytes(hmac_addr, &old_mac).unwrap();
     assert!(
-        matches!(m.read_block(t, addr), Err(IntegrityError::DataMac { .. })),
+        matches!(
+            m.read_block_verified(t, addr),
+            Err(IntegrityError::DataMac { .. })
+        ),
         "stale-but-once-valid data must fail freshness verification"
     );
 }
@@ -135,11 +144,16 @@ fn counter_corruption_detected_after_cache_loss() {
     let t = m.write_block(0, 0x8000, &block(9)).unwrap();
     m.crash();
     m.recover().expect("strict recovers instantly");
-    let ctr_addr = m.geometry().counter_addr(m.geometry().counter_index(0x8000));
+    let ctr_addr = m
+        .geometry()
+        .counter_addr(m.geometry().counter_index(0x8000));
     m.nvm_mut().tamper_flip_bit(ctr_addr + 60, 1); // major counter bits
     let err = m.read_block(t, 0x8000).unwrap_err();
     assert!(
-        matches!(err, IntegrityError::CounterMac { .. } | IntegrityError::DataMac { .. }),
+        matches!(
+            err,
+            IntegrityError::CounterMac { .. } | IntegrityError::DataMac { .. }
+        ),
         "got {err:?}"
     );
 }
@@ -201,9 +215,14 @@ fn recoverable_protocols_survive_a_crash() {
             tt = done;
         }
         m.crash();
-        let report = m.recover().unwrap_or_else(|e| panic!("{kind}: recovery failed: {e}"));
+        let report = m
+            .recover()
+            .unwrap_or_else(|e| panic!("{kind}: recovery failed: {e}"));
         assert!(report.verified, "{kind}: recovery must verify");
-        assert!(m.audit().unwrap(), "{kind}: post-recovery tree must be globally consistent");
+        assert!(
+            m.audit().unwrap(),
+            "{kind}: post-recovery tree must be globally consistent"
+        );
         for (addr, data) in expected {
             let (got, done) = m.read_block(tt, addr).unwrap();
             assert_eq!(got, data, "{kind}: data lost across crash at {addr:#x}");
@@ -245,10 +264,14 @@ fn double_crash_recover_cycles() {
         m.recover().unwrap();
         // Keep working, crash again.
         for i in 0..200u64 {
-            t = m.write_block(t, (i % 32) * 64, &block(0xA0 | (i as u8 & 0xF))).unwrap();
+            t = m
+                .write_block(t, (i % 32) * 64, &block(0xA0 | (i as u8 & 0xF)))
+                .unwrap();
         }
         m.crash();
-        let r = m.recover().unwrap_or_else(|e| panic!("{kind}: second recovery: {e}"));
+        let r = m
+            .recover()
+            .unwrap_or_else(|e| panic!("{kind}: second recovery: {e}"));
         assert!(r.verified, "{kind}");
         let (data, _) = m.read_block(t, 0).unwrap();
         assert_eq!(data[0] & 0xF0, 0xA0, "{kind}");
@@ -259,7 +282,11 @@ fn double_crash_recover_cycles() {
 fn strict_recovery_does_no_work() {
     let mut m = mem(ProtocolKind::Strict, 16 * MIB);
     crash_workload(&mut m);
-    assert_eq!(m.stale_lines(), 0, "strict persistence leaves nothing stale");
+    assert_eq!(
+        m.stale_lines(),
+        0,
+        "strict persistence leaves nothing stale"
+    );
     m.crash();
     let report = m.recover().unwrap();
     assert_eq!(report.nvm_reads, 0);
@@ -324,7 +351,10 @@ fn osiris_recovers_stale_counters() {
     assert!(m.stale_lines() > 0, "counters must be lazily stale");
     m.crash();
     let report = m.recover().unwrap();
-    assert!(report.counters_recovered > 0, "stop-loss counters must be re-derived");
+    assert!(
+        report.counters_recovered > 0,
+        "stop-loss counters must be re-derived"
+    );
     let (data, _) = m.read_block(t, 0).unwrap();
     assert_eq!(data, block(0));
 }
@@ -346,7 +376,11 @@ fn counter_overflow_reencrypts_page() {
     let (a, done) = m.read_block(t, 4096).unwrap();
     assert_eq!(a, block(129));
     let (b, _) = m.read_block(done, 4096 + 64).unwrap();
-    assert_eq!(b, block(0x55), "sibling block must survive page re-encryption");
+    assert_eq!(
+        b,
+        block(0x55),
+        "sibling block must survive page re-encryption"
+    );
 }
 
 #[test]
@@ -377,7 +411,9 @@ fn amnt_transitions_follow_the_hotspot() {
     }
     let first = m.subtree_root().expect("elected");
     for i in 0..200u64 {
-        t = m.write_block(t, region_bytes + (i % 32) * 64, &block(2)).unwrap();
+        t = m
+            .write_block(t, region_bytes + (i % 32) * 64, &block(2))
+            .unwrap();
     }
     let second = m.subtree_root().expect("still elected");
     assert_ne!(first, second, "subtree must follow the hotspot");
@@ -397,20 +433,31 @@ fn anubis_pays_shadow_writes_on_fills() {
         let addr = ((i * 7919) % 3000) * 4096;
         t = m.write_block(t, addr, &block(i as u8)).unwrap();
     }
-    assert!(m.stats().shadow_writes > 100, "fills must update the shadow table");
+    assert!(
+        m.stats().shadow_writes > 100,
+        "fills must update the shadow table"
+    );
 }
 
 #[test]
 fn bmf_prunes_hot_regions() {
     let mut m = mem(
-        ProtocolKind::Bmf(BmfConfig { capacity: 64, maintenance_interval: 64, prune_threshold: 16 }),
+        ProtocolKind::Bmf(BmfConfig {
+            capacity: 64,
+            maintenance_interval: 64,
+            prune_threshold: 16,
+        }),
         16 * MIB,
     );
     let mut t = 0;
     for i in 0..2000u64 {
         t = m.write_block(t, (i % 16) * 64, &block(i as u8)).unwrap();
     }
-    assert!(m.stats().bmf_prunes >= 1, "a hot frontier node must be pruned: {:?}", m.stats());
+    assert!(
+        m.stats().bmf_prunes >= 1,
+        "a hot frontier node must be pruned: {:?}",
+        m.stats()
+    );
     // Crash consistency holds across prune/merge churn.
     m.crash();
     assert!(m.recover().unwrap().verified);
@@ -427,9 +474,14 @@ fn persistence_traffic_orders_as_expected() {
         let mut m = mem(kind, 16 * MIB);
         let mut t = 0;
         for i in 0..300u64 {
-            t = m.write_block(t, ((i * 13) % 512) * 64, &block(i as u8)).unwrap();
+            t = m
+                .write_block(t, ((i * 13) % 512) * 64, &block(i as u8))
+                .unwrap();
         }
-        (m.stats().persist_writes, m.snapshot().controller.wait_cycles)
+        (
+            m.stats().persist_writes,
+            m.snapshot().controller.wait_cycles,
+        )
     };
     let (strict_p, strict_w) = run(ProtocolKind::Strict);
     let (leaf_p, leaf_w) = run(ProtocolKind::Leaf);
@@ -439,7 +491,10 @@ fn persistence_traffic_orders_as_expected() {
     // On this 16 MiB tree the write path has 3 inner nodes: strict persists
     // exactly 6 blocks per write vs leaf's 3.
     assert_eq!(strict_p, 2 * leaf_p, "strict {strict_p} vs leaf {leaf_p}");
-    assert!(strict_w > leaf_w, "strict waits {strict_w} vs leaf {leaf_w}");
+    assert!(
+        strict_w > leaf_w,
+        "strict waits {strict_w} vs leaf {leaf_w}"
+    );
     assert!(leaf_w > vol_w, "leaf waits {leaf_w} vs volatile {vol_w}");
 }
 
@@ -449,9 +504,15 @@ fn deterministic_given_identical_traffic() {
         let mut m = mem(ProtocolKind::Amnt(AmntConfig::default()), 16 * MIB);
         let mut t = 0;
         for i in 0..400u64 {
-            t = m.write_block(t, ((i * 31) % 256) * 64, &block(i as u8)).unwrap();
+            t = m
+                .write_block(t, ((i * 31) % 256) * 64, &block(i as u8))
+                .unwrap();
         }
-        (t, m.stats().subtree_transitions, m.snapshot().timeline.writes)
+        (
+            t,
+            m.stats().subtree_transitions,
+            m.snapshot().timeline.writes,
+        )
     };
     assert_eq!(run(), run());
 }
@@ -462,13 +523,18 @@ fn plp_persists_like_strict_but_waits_less() {
         let mut m = mem(kind, 16 * MIB);
         let mut t = 0;
         for i in 0..300u64 {
-            t = m.write_block(t, ((i * 13) % 512) * 64, &block(i as u8)).unwrap();
+            t = m
+                .write_block(t, ((i * 13) % 512) * 64, &block(i as u8))
+                .unwrap();
         }
         (m.stats().persist_writes, m.stats().wait_cycles)
     };
     let (strict_p, strict_w) = run(ProtocolKind::Strict);
     let (plp_p, plp_w) = run(ProtocolKind::Plp);
-    assert_eq!(plp_p, strict_p, "PLP writes through exactly what strict does");
+    assert_eq!(
+        plp_p, strict_p,
+        "PLP writes through exactly what strict does"
+    );
     assert!(
         plp_w < strict_w,
         "parallel persists must wait less: plp {plp_w} vs strict {strict_w}"
@@ -487,10 +553,16 @@ fn battery_runs_volatile_fast_and_recovers_when_sized() {
     use amnt_core::BatteryConfig;
     // A battery that covers the whole metadata cache: volatile-speed runtime
     // AND crash recovery.
-    let kind = ProtocolKind::Battery(BatteryConfig { flush_budget_lines: 1024 });
+    let kind = ProtocolKind::Battery(BatteryConfig {
+        flush_budget_lines: 1024,
+    });
     let mut m = mem(kind, 16 * MIB);
     let t = crash_workload(&mut m);
-    assert_eq!(m.stats().persist_writes, 0, "battery mode persists nothing at runtime");
+    assert_eq!(
+        m.stats().persist_writes,
+        0,
+        "battery mode persists nothing at runtime"
+    );
     let needed = m.stats().max_stale_lines;
     assert!(needed > 0);
     m.crash();
@@ -505,7 +577,9 @@ fn battery_runs_volatile_fast_and_recovers_when_sized() {
 #[test]
 fn undersized_battery_fails_like_volatile() {
     use amnt_core::BatteryConfig;
-    let kind = ProtocolKind::Battery(BatteryConfig { flush_budget_lines: 2 });
+    let kind = ProtocolKind::Battery(BatteryConfig {
+        flush_budget_lines: 2,
+    });
     let mut m = mem(kind, 16 * MIB);
     crash_workload(&mut m);
     assert!(
@@ -513,7 +587,10 @@ fn undersized_battery_fails_like_volatile() {
         "workload must out-dirty the tiny battery"
     );
     m.crash();
-    assert!(matches!(m.recover(), Err(RecoveryError::Unrecoverable { .. })));
+    assert!(matches!(
+        m.recover(),
+        Err(RecoveryError::Unrecoverable { .. })
+    ));
 }
 
 #[test]
@@ -523,14 +600,18 @@ fn max_stale_lines_reports_the_required_battery() {
     // exactly that size suffices.
     let probe = {
         let mut m = mem(
-            ProtocolKind::Battery(BatteryConfig { flush_budget_lines: usize::MAX }),
+            ProtocolKind::Battery(BatteryConfig {
+                flush_budget_lines: usize::MAX,
+            }),
             16 * MIB,
         );
         crash_workload(&mut m);
         m.stats().max_stale_lines as usize
     };
     let mut m = mem(
-        ProtocolKind::Battery(BatteryConfig { flush_budget_lines: probe }),
+        ProtocolKind::Battery(BatteryConfig {
+            flush_budget_lines: probe,
+        }),
         16 * MIB,
     );
     crash_workload(&mut m);
@@ -627,5 +708,11 @@ fn byte_granular_api_detects_tampering() {
     let t = m.write_bytes(0, 0x2000, b"sensitive record").unwrap();
     m.nvm_mut().tamper_flip_bit(0x2005, 2);
     let mut buf = [0u8; 16];
-    assert!(m.read_bytes(t, 0x2000, &mut buf).is_err());
+    // Byte reads defer leaf-MAC checks like block reads do; the flush
+    // surfaces the tampering no later than the next commit point.
+    let got = m.read_bytes(t, 0x2000, &mut buf).and_then(|t| {
+        m.flush_verify_queue()?;
+        Ok(t)
+    });
+    assert!(got.is_err());
 }

@@ -1,0 +1,227 @@
+//! Semantics of the lazy leaf-MAC verify queue: depth accounting and the
+//! batch drain, the flush-before-commit invariant on the write path, crash
+//! discard, eager/queued equivalence, epoch-boundary poison, and the
+//! sequential subtree-path prefetcher that rides the same read path.
+
+use amnt_core::{AmntConfig, IntegrityError, ProtocolKind, SecureMemory, SecureMemoryConfig};
+use amnt_trace::TraceConfig;
+
+const MIB: u64 = 1024 * 1024;
+
+fn mem_with(kind: ProtocolKind, depth: usize, prefetch: bool) -> SecureMemory {
+    let mut cfg = SecureMemoryConfig::with_capacity(4 * MIB);
+    cfg.verify_queue = depth;
+    cfg.subtree_prefetch = prefetch;
+    SecureMemory::new(cfg, kind).expect("valid config")
+}
+
+fn block(byte: u8) -> [u8; 64] {
+    [byte; 64]
+}
+
+#[test]
+fn queue_depth_counts_up_and_drains_at_capacity() {
+    let mut m = mem_with(ProtocolKind::Leaf, 4, false);
+    let mut t = m.write_block(0, 0x1000, &block(1)).unwrap();
+    assert_eq!(m.verify_queue_len(), 0, "writes leave the queue settled");
+    for round in 1..=11u64 {
+        let (data, done) = m.read_block(t, 0x1000).unwrap();
+        assert_eq!(data, block(1));
+        t = done;
+        assert_eq!(
+            m.verify_queue_len() as u64,
+            round % 4,
+            "depth after {round} reads at capacity 4"
+        );
+    }
+}
+
+#[test]
+fn write_flushes_the_queue_before_committing() {
+    let mut m = mem_with(ProtocolKind::Amnt(AmntConfig::default()), 8, false);
+    let mut t = m.write_block(0, 0x1000, &block(3)).unwrap();
+    for _ in 0..3 {
+        t = m.read_block(t, 0x1000).unwrap().1;
+    }
+    assert_eq!(m.verify_queue_len(), 3);
+    m.write_block(t, 0x2000, &block(4)).unwrap();
+    assert_eq!(
+        m.verify_queue_len(),
+        0,
+        "commit points require an empty queue"
+    );
+}
+
+#[test]
+fn deferred_mismatch_is_reported_at_the_drain_with_the_right_address() {
+    let mut m = mem_with(ProtocolKind::Leaf, 8, false);
+    let t = m.write_block(0, 0x1000, &block(5)).unwrap();
+    m.nvm_mut().tamper_flip_bit(0x1000 + 9, 4);
+    // The plain read defers the check: it returns (wrong) bytes.
+    let (data, t) = m.read_block(t, 0x1000).unwrap();
+    assert_ne!(data, block(5), "tampered ciphertext decrypts to garbage");
+    assert_eq!(m.verify_queue_len(), 1);
+    match m.flush_verify_queue() {
+        Err(IntegrityError::DataMac { addr }) => assert_eq!(addr, 0x1000),
+        other => panic!("flush must surface the deferred mismatch, got {other:?}"),
+    }
+    assert_eq!(
+        m.verify_queue_len(),
+        0,
+        "a failed drain fail-stops the queue"
+    );
+    // The verified read reports the same mismatch inline.
+    assert!(matches!(
+        m.read_block_verified(t, 0x1000),
+        Err(IntegrityError::DataMac { addr: 0x1000 })
+    ));
+}
+
+#[test]
+fn eager_and_queued_modes_agree_on_data_timing_and_hash_work() {
+    let run = |depth: usize| {
+        let mut m = mem_with(ProtocolKind::Amnt(AmntConfig::default()), depth, false);
+        let mut t = 0;
+        for i in 0..120u64 {
+            t = m.write_block(t, (i % 24) * 64, &block(i as u8)).unwrap();
+        }
+        let mut reads = Vec::new();
+        for i in 0..96u64 {
+            let (data, done) = m.read_block(t, (i % 24) * 64).unwrap();
+            reads.push(data);
+            t = done;
+        }
+        m.flush_verify_queue().unwrap();
+        (reads, t, m.stats().hashes, m.stats().wait_cycles)
+    };
+    let eager = run(0);
+    for depth in [1, 4, 8, 32] {
+        assert_eq!(run(depth), eager, "depth {depth} must not perturb results");
+    }
+}
+
+#[test]
+fn crash_discards_deferred_checks_without_losing_protection() {
+    let mut m = mem_with(ProtocolKind::Amnt(AmntConfig::default()), 8, false);
+    let mut t = m.write_block(0, 0x1000, &block(7)).unwrap();
+    for _ in 0..5 {
+        t = m.read_block(t, 0x1000).unwrap().1;
+    }
+    assert_eq!(m.verify_queue_len(), 5);
+    m.crash();
+    assert_eq!(
+        m.verify_queue_len(),
+        0,
+        "queued checks are read-side speculation"
+    );
+    m.recover().expect("recovery");
+    assert_eq!(m.read_block_verified(t, 0x1000).unwrap().0, block(7));
+
+    // A mismatch pending at the crash is *not* an escape: the damage is on
+    // the media, so any post-recovery verified read still detects it.
+    m.nvm_mut().tamper_flip_bit(0x1000 + 2, 1);
+    let t = m.read_block(t, 0x1000).unwrap().1; // deferred
+    m.crash();
+    m.recover().expect("recovery");
+    assert!(m.read_block_verified(t, 0x1000).is_err());
+}
+
+#[test]
+fn epoch_boundary_drain_poisons_the_next_operation() {
+    let mut m = mem_with(ProtocolKind::Leaf, 64, false);
+    m.enable_tracing(TraceConfig {
+        epoch_cycles: 2_000,
+        max_events: 4096,
+    });
+    let mut t = m.write_block(0, 0x1000, &block(9)).unwrap();
+    t = m.read_block(t, 0x1000).unwrap().1; // anchors the epoch clock
+    m.nvm_mut().tamper_flip_bit(0x1000, 0);
+    t = m.read_block(t, 0x1000).unwrap().1; // mismatch now queued
+                                            // Deep queue + short epochs: the epoch-boundary drain fires before the
+                                            // queue fills, catches the mismatch, and poisons the controller.
+    let mut poisoned = None;
+    for _ in 0..64 {
+        match m.read_block(t, 0x2000) {
+            Ok((_, done)) => t = done,
+            Err(e) => {
+                poisoned = Some(e);
+                break;
+            }
+        }
+    }
+    match poisoned {
+        Some(IntegrityError::DataMac { addr }) => assert_eq!(addr, 0x1000),
+        other => panic!("epoch drain must poison a later op, got {other:?}"),
+    }
+}
+
+#[test]
+fn queue_depth_and_drain_batches_land_in_trace_histograms() {
+    let mut m = mem_with(ProtocolKind::Leaf, 8, false);
+    m.enable_tracing(TraceConfig::default());
+    let mut t = m.write_block(0, 0x1000, &block(2)).unwrap();
+    for _ in 0..17 {
+        t = m.read_block(t, 0x1000).unwrap().1;
+    }
+    let _ = t;
+    m.flush_verify_queue().unwrap();
+    let report = m.trace_report().expect("tracing on");
+    let depth = report.hist("verify_queue.depth").expect("depth histogram");
+    assert_eq!(depth.count(), 17, "one depth sample per deferred read");
+    let drains = report
+        .hist("verify_queue.drain_batch")
+        .expect("drain histogram");
+    // 17 reads at capacity 8: two full drains plus the final flush of 1.
+    assert_eq!(drains.count(), 3);
+}
+
+#[test]
+fn sequential_reads_trigger_prefetch_and_leave_results_untouched() {
+    let run = |prefetch: bool| {
+        let mut m = mem_with(ProtocolKind::Amnt(AmntConfig::default()), 8, prefetch);
+        let mut t = 0;
+        for i in 0..64u64 {
+            t = m.write_block(t, i * 64, &block(i as u8)).unwrap();
+        }
+        m.crash();
+        m.recover().expect("recovery");
+        let mut reads = Vec::new();
+        for i in 0..64u64 {
+            let (data, done) = m.read_block(t, i * 64).unwrap();
+            reads.push(data);
+            t = done;
+        }
+        m.flush_verify_queue().unwrap();
+        (reads, m.stats().prefetches)
+    };
+    let (base, no_prefetch) = run(false);
+    assert_eq!(no_prefetch, 0, "prefetch is opt-in");
+    let (warmed, prefetches) = run(true);
+    assert!(prefetches > 0, "a 64-block sequential stream must prefetch");
+    assert_eq!(warmed, base, "prefetching never changes returned data");
+}
+
+#[test]
+fn prefetch_never_masks_tampering() {
+    let mut m = mem_with(ProtocolKind::Leaf, 0, true);
+    let mut t = 0;
+    for i in 0..8u64 {
+        t = m.write_block(t, i * 64, &block(i as u8)).unwrap();
+    }
+    m.crash();
+    m.recover().expect("recovery");
+    m.nvm_mut().tamper_flip_bit(4 * 64 + 31, 5);
+    let mut failed = None;
+    for i in 0..8u64 {
+        match m.read_block_verified(t, i * 64) {
+            Ok((_, done)) => t = done,
+            Err(e) => {
+                failed = Some((i, e));
+                break;
+            }
+        }
+    }
+    let (i, e) = failed.expect("the tampered block must fail");
+    assert_eq!(i, 4);
+    assert!(matches!(e, IntegrityError::DataMac { addr } if addr == 4 * 64));
+}

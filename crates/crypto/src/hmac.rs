@@ -35,7 +35,9 @@ pub struct HmacSha256 {
 
 impl std::fmt::Debug for HmacSha256 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("HmacSha256").field("key", &"<redacted>").finish()
+        f.debug_struct("HmacSha256")
+            .field("key", &"<redacted>")
+            .finish()
     }
 }
 
@@ -61,7 +63,10 @@ impl HmacSha256 {
         inner_mid.update(&inner_pad);
         let mut outer_mid = Sha256::new();
         outer_mid.update(&outer_pad);
-        HmacSha256 { inner_mid, outer_mid }
+        HmacSha256 {
+            inner_mid,
+            outer_mid,
+        }
     }
 
     /// Computes the full 32-byte MAC of `message`.
@@ -100,13 +105,27 @@ impl HmacSha256 {
     pub fn mac64_parts(&self, parts: &[&[u8]]) -> u64 {
         be_u64_prefix(&self.mac_parts(parts))
     }
+
+    /// The ipad midstate (message-absorption entry point) — consumed by the
+    /// multi-lane engine in [`crate::lanes`].
+    pub(crate) fn inner_midstate(&self) -> &Sha256 {
+        &self.inner_mid
+    }
+
+    /// The opad midstate (inner-digest absorption entry point).
+    pub(crate) fn outer_midstate(&self) -> &Sha256 {
+        &self.outer_mid
+    }
 }
 
 /// Big-endian u64 from a digest's first 8 bytes. A fold rather than a
 /// fallible slice-to-array conversion: MACs are verified on the recovery
 /// path, which must stay panic-free (lint R1).
 fn be_u64_prefix(digest: &[u8]) -> u64 {
-    digest.iter().take(8).fold(0u64, |acc, &b| (acc << 8) | u64::from(b))
+    digest
+        .iter()
+        .take(8)
+        .fold(0u64, |acc, &b| (acc << 8) | u64::from(b))
 }
 
 #[cfg(test)]
@@ -209,7 +228,11 @@ mod tests {
         let first = hmac.mac(b"message one");
         let second = hmac.mac(b"message two");
         assert_ne!(first, second);
-        assert_eq!(first, hmac.mac(b"message one"), "instance state must not advance");
+        assert_eq!(
+            first,
+            hmac.mac(b"message one"),
+            "instance state must not advance"
+        );
     }
 
     #[test]

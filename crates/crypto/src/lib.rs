@@ -33,9 +33,11 @@
 mod aes;
 mod ctr;
 mod hmac;
+mod lanes;
 mod sha256;
 
 pub use aes::Aes128;
 pub use ctr::{CtrEngine, BLOCK_SIZE};
 pub use hmac::HmacSha256;
+pub use lanes::{mac64_batch, DATA_MAC_MSG_LEN, LANES};
 pub use sha256::{sha256, Sha256};

@@ -17,7 +17,11 @@ pub struct HierarchyTiming {
 
 impl Default for HierarchyTiming {
     fn default() -> Self {
-        HierarchyTiming { l1: 2, l2: 12, l3: 30 }
+        HierarchyTiming {
+            l1: 2,
+            l2: 12,
+            l3: 30,
+        }
     }
 }
 
@@ -42,7 +46,11 @@ impl Default for AgingConfig {
         // then interleave across regions at page granularity — the paper's
         // Figure 3b — while each region retains ~88 MiB of free supply for
         // the AMNT++ bias to draw on.
-        AgingConfig { seed: 0xA6E, occupancy: 0.8, churn: 0.6 }
+        AgingConfig {
+            seed: 0xA6E,
+            occupancy: 0.8,
+            churn: 0.6,
+        }
     }
 }
 
@@ -72,6 +80,25 @@ pub struct MachineConfig {
     pub trace: Option<amnt_trace::TraceConfig>,
 }
 
+/// Applies the secure-engine environment overrides to `cfg`:
+/// `AMNT_VERIFY_QUEUE` (lazy verify-queue depth; `0` restores the eager
+/// per-read MAC check) and `AMNT_PREFETCH` (`1` enables the sequential
+/// subtree-path prefetcher). The queue depth is a host-side batching knob
+/// — artifacts are byte-identical at any setting — while prefetch changes
+/// simulated timing and is therefore opt-in.
+fn secure_env(mut cfg: SecureMemoryConfig) -> SecureMemoryConfig {
+    if let Some(depth) = std::env::var("AMNT_VERIFY_QUEUE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+    {
+        cfg.verify_queue = depth;
+    }
+    if std::env::var("AMNT_PREFETCH").is_ok_and(|v| v == "1") {
+        cfg.subtree_prefetch = true;
+    }
+    cfg
+}
+
 impl MachineConfig {
     /// Paper §6.1: single-program PARSEC machine — one core, 32 kB L1D,
     /// 1 MB L2, 8 GB PCM, Table 1 security configuration. Fresh-boot
@@ -83,7 +110,7 @@ impl MachineConfig {
             l2: CacheConfig::new(1024 * 1024, 16, 64),
             l3: None,
             timing: HierarchyTiming::default(),
-            secure: SecureMemoryConfig::paper_default(),
+            secure: secure_env(SecureMemoryConfig::paper_default()),
             alloc_policy: AllocPolicy::Standard,
             aging: None,
             trace: None,
@@ -99,7 +126,7 @@ impl MachineConfig {
             l2: CacheConfig::new(128 * 1024, 8, 64),
             l3: Some(CacheConfig::new(1024 * 1024, 16, 64)),
             timing: HierarchyTiming::default(),
-            secure: SecureMemoryConfig::paper_default(),
+            secure: secure_env(SecureMemoryConfig::paper_default()),
             alloc_policy: AllocPolicy::Standard,
             aging: Some(AgingConfig::default()),
             trace: None,
@@ -116,7 +143,7 @@ impl MachineConfig {
             l2: CacheConfig::new(512 * 1024, 8, 64),
             l3: Some(CacheConfig::new(8 * 1024 * 1024, 16, 64)),
             timing: HierarchyTiming::default(),
-            secure: SecureMemoryConfig::paper_default(),
+            secure: secure_env(SecureMemoryConfig::paper_default()),
             alloc_policy: AllocPolicy::Standard,
             aging: None,
             trace: None,
@@ -125,7 +152,7 @@ impl MachineConfig {
 
     /// Shrinks the machine (memory + caches) for fast tests.
     pub fn scaled_down(mut self, data_capacity: u64) -> Self {
-        self.secure = SecureMemoryConfig::with_capacity(data_capacity);
+        self.secure = secure_env(SecureMemoryConfig::with_capacity(data_capacity));
         self
     }
 }

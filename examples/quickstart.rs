@@ -44,9 +44,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (data, _) = memory.read_block(t, 0)?;
     assert_eq!(data, [896u64 as u8; 64]);
 
-    // Tampering with the device trips verification.
+    // Tampering with the device trips verification. `read_block_verified`
+    // drains the lazy verify queue inline, so the MAC verdict is immediate
+    // (a plain `read_block` may defer it to the next batch drain).
     memory.nvm_mut().tamper_flip_bit(0, 0);
-    match memory.read_block(t, 0) {
+    match memory.read_block_verified(t, 0) {
         Err(IntegrityError::DataMac { addr }) => {
             println!("tamper detected at {addr:#x}, as it should be");
         }

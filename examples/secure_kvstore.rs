@@ -127,7 +127,8 @@ fn main() {
     let mut hit_error = false;
     for probe in 0..4 {
         let slot = KvStore::slot_of(&key(42), probe);
-        if store.memory.read_block(store.clock, slot * 64).is_err() {
+        // Verified read: drains the lazy MAC queue so the verdict is inline.
+        if store.memory.read_block_verified(store.clock, slot * 64).is_err() {
             hit_error = true;
             break;
         }

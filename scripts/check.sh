@@ -86,10 +86,24 @@ if ! cmp -s "$tracedir/trace_report.json" results/trace_report.json; then
     echo "   trace smoke: main artifact differs with tracing on vs off"
     fail=1
 fi
+# The lazy verify queue batches host-side MAC checks but charges each one
+# at enqueue: disabling it (eager per-read verification) must not change a
+# byte of the main artifact either.
+AMNT_JOBS=2 AMNT_VERIFY_QUEUE=0 trace_smoke || fail=1
+if ! cmp -s "$tracedir/trace_report.json" results/trace_report.json; then
+    echo "   trace smoke: main artifact differs with verify queue on vs off"
+    fail=1
+fi
 # Leave deterministic traced sidecars behind, not the quick-run artifact.
 AMNT_JOBS=1 trace_smoke || fail=1
 rm -rf "$tracedir"
 [ "$fail" -eq 0 ] && echo "   trace smoke: sidecars deterministic, observer pure"
+
+echo "== crypto bench (multi-lane MAC engine) =="
+# Host-clock ns/op for the scalar vs 8-lane batched 85-byte MAC; perfgate
+# holds the batched path to >= 1.6x scalar throughput per MAC (and <= 0.6x
+# the scalar per-MAC cost) via the one-sided reference rows.
+cargo run --release -p amnt-bench --bin crypto_bench || fail=1
 
 echo "== perfgate (results/*.json vs EXPERIMENTS.md reference rows) =="
 cargo run --release -p amnt-bench --bin perfgate || fail=1
