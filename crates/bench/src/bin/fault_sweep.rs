@@ -8,11 +8,13 @@
 //! the nested recovery-fault sweep re-crashes the recovery procedure at
 //! every one of its device writes before recovering again (the idempotence
 //! sweep). A fourth phase cuts power with deferred leaf-MAC checks still
-//! pending in the lazy verify queue, at every op boundary and queue depth.
+//! pending in the lazy verify queue, at every op boundary and queue depth,
+//! and a fifth flips one media bit between the nested recovery crash and
+//! the second recovery (tamper interleaving) at every clean crash point.
 //! Emits `results/fault_sweep.json` with the per-protocol coverage
 //! counters that `perfgate` checks (silent corruption, boundary deficits,
-//! eviction-class silents, idempotence violations and verify-queue-class
-//! silents must be exactly zero at any workload size).
+//! eviction-class silents, idempotence violations, verify-queue-class and
+//! tamper-class silents must be exactly zero at any workload size).
 //!
 //! `AMNT_FAULT_OPS` scales the workload (default 100 ops — the acceptance
 //! sweep). The per-protocol sweeps are independent and run in parallel;
@@ -122,6 +124,10 @@ fn main() {
             "verify_queue_silent",
             s.verify_queue_silent as f64,
         );
+        result.push(&cell.row, "tamper_points", s.tamper_points as f64);
+        result.push(&cell.row, "tamper_detected", s.tamper_detected as f64);
+        result.push(&cell.row, "tamper_healed", s.tamper_healed as f64);
+        result.push(&cell.row, "tamper_silent", s.tamper_silent as f64);
     }
     println!(
         "\n{:<9}{:>7}{:>9}{:>9}{:>9}{:>9}{:>9}{:>9}{:>7}{:>7}{:>8}{:>8}",
@@ -157,9 +163,20 @@ fn main() {
         );
     }
     println!(
+        "\n{:<9}{:>9}{:>9}{:>9}{:>9}",
+        "protocol", "tam_pts", "tam_det", "tam_heal", "tam_sil"
+    );
+    for cell in results.cells() {
+        let s = &cell.value;
+        println!(
+            "{:<9}{:>9}{:>9}{:>9}{:>9}",
+            cell.row, s.tamper_points, s.tamper_detected, s.tamper_healed, s.tamper_silent
+        );
+    }
+    println!(
         "\nsilent corruption, boundary deficits, eviction-class silents, \
-         idempotence violations and verify-queue-class silents must be zero \
-         for every protocol."
+         idempotence violations, verify-queue-class and tamper-class silents \
+         must be zero for every protocol."
     );
     result.set_host(&timer, results.workers);
     let path = result.save().expect("save results");

@@ -10,7 +10,7 @@
 use crate::counter::CounterBlock;
 use crate::geometry::{BmtGeometry, NodeId, BLOCK_SIZE, TREE_ARITY};
 use amnt_crypto::{HmacSha256, DATA_MAC_MSG_LEN};
-use amnt_nvm::{Nvm, NvmError};
+use amnt_nvm::{Nvm, NvmError, FRAME_SIZE};
 
 /// A 64-byte tree node or counter block image.
 pub type NodeBytes = [u8; 64];
@@ -302,6 +302,166 @@ impl Bmt {
         let bytes = nvm.read_block(self.geometry.node_addr(node))?;
         Ok(self.hasher.node_mac(&bytes, node))
     }
+
+    // ------------------------------------------------------------------
+    // Sparse (on-demand materialization) operations
+    // ------------------------------------------------------------------
+    //
+    // The all-zero-MACs-to-zero convention (see [`BmtHasher::counter_mac`])
+    // makes untouched subtrees resolve to the known all-zero digest at every
+    // level without being stored. The sparse operations below exploit that:
+    // they enumerate only the counter blocks whose backing frames have been
+    // touched (via [`Nvm::touched_frames_in`]) and walk just their ancestor
+    // closure, so post-crash work is O(touched), not O(capacity). The
+    // soundness argument: every nonzero counter lives in a touched frame
+    // (writes back frames, and frames are never unbacked), so any subtree
+    // outside the touched closure has all-zero counters and — on a clean
+    // device — all-zero stored nodes, exactly the digest the sparse walk
+    // assumes. Stored garbage over untouched counters changes the
+    // recomputed root one level up and is *detected*, never silently
+    // trusted.
+
+    /// Counter-block indices whose backing frames have been touched, in
+    /// ascending order. Superset of the nonzero counters; at most
+    /// `FRAME_SIZE / BLOCK_SIZE` per touched frame.
+    pub fn touched_counters(&self, nvm: &Nvm) -> Vec<u64> {
+        let base = self.geometry.counter_addr(0);
+        let end = base + self.geometry.counter_blocks() * BLOCK_SIZE;
+        let mut out = Vec::new();
+        for frame in nvm.touched_frames_in(base, end) {
+            let lo = frame.max(base);
+            let hi = (frame + FRAME_SIZE as u64).min(end);
+            let mut addr = lo;
+            while addr < hi {
+                out.push((addr - base) / BLOCK_SIZE);
+                addr += BLOCK_SIZE;
+            }
+        }
+        out
+    }
+
+    /// Deduplicated parent indices (one level up) of a sorted index list.
+    fn parent_indices(indices: &[u64]) -> Vec<u64> {
+        let mut up: Vec<u64> = indices.iter().map(|i| i / TREE_ARITY).collect();
+        up.dedup();
+        up
+    }
+
+    /// Sparse [`Self::build_full`]: rebuilds only the stored nodes on the
+    /// ancestor closure of the touched counter blocks, bottom-up, writing
+    /// them back, and returns the recomputed root image together with the
+    /// number of nodes recomputed (the root register image counts as one).
+    /// Untouched subtrees are never read or written — their digest is the
+    /// all-zero node at every level.
+    ///
+    /// On a clean device this recomputes the same root as
+    /// [`Self::build_full`]; see the module notes above for the argument.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors.
+    pub fn build_touched(&self, nvm: &mut Nvm) -> Result<(NodeBytes, u64), NvmError> {
+        let mut indices = Self::parent_indices(&self.touched_counters(nvm));
+        let mut recomputed = 0u64;
+        for level in (2..=self.geometry.bottom_level()).rev() {
+            for &index in &indices {
+                let node = NodeId { level, index };
+                let image = self.compute_node(nvm, node)?;
+                nvm.write_block(self.geometry.node_addr(node), &image)?;
+                recomputed += 1;
+            }
+            indices = Self::parent_indices(&indices);
+        }
+        let root = self.compute_node(nvm, NodeId { level: 1, index: 0 })?;
+        Ok((root, recomputed + 1))
+    }
+
+    /// Sparse [`Self::verify_full`]: recomputes the root from the touched
+    /// counter blocks' ancestor closure (into a scratch map, writing
+    /// nothing) and compares it against `root`. A child outside the touched
+    /// closure contributes its *stored* image: untouched counters mean a
+    /// clean device stores zero there, and stored garbage perturbs the
+    /// recomputed root — strictly more sensitive than [`Self::verify_full`],
+    /// never less.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors.
+    pub fn verify_touched(&self, nvm: &mut Nvm, root: &NodeBytes) -> Result<bool, NvmError> {
+        use std::collections::HashMap;
+        let bottom = self.geometry.bottom_level();
+        // Scratch images of the touched ancestry only (lookups, no
+        // iteration — artifact content never depends on map order).
+        let mut images: HashMap<NodeId, NodeBytes> = HashMap::new();
+        let mut indices = Self::parent_indices(&self.touched_counters(nvm));
+        for level in (1..=bottom).rev() {
+            if level == 1 {
+                // The root is always recomputed, even with nothing touched.
+                indices = vec![0];
+            }
+            for &index in &indices {
+                let node = NodeId { level, index };
+                let image = if level == bottom {
+                    self.compute_node(nvm, node)?
+                } else {
+                    let mut img = [0u8; BLOCK_SIZE as usize];
+                    for child in self.geometry.children(node) {
+                        let bytes = match images.get(&child) {
+                            Some(recomputed) => *recomputed,
+                            None => nvm.read_block(self.geometry.node_addr(child))?,
+                        };
+                        set_slot(
+                            &mut img,
+                            self.geometry.child_slot(child),
+                            self.hasher.node_mac(&bytes, child),
+                        );
+                    }
+                    img
+                };
+                images.insert(node, image);
+            }
+            indices = Self::parent_indices(&indices);
+        }
+        let recomputed_root = NodeId { level: 1, index: 0 };
+        Ok(images.get(&recomputed_root).is_some_and(|image| image == root))
+    }
+
+    /// Sparse [`Self::rebuild_subtree`]: rebuilds only the touched ancestor
+    /// closure inside the subtree rooted at `subtree_root`, writes the
+    /// recomputed subtree root back, and returns its image with the count of
+    /// nodes recomputed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors.
+    pub fn rebuild_subtree_touched(
+        &self,
+        nvm: &mut Nvm,
+        subtree_root: NodeId,
+    ) -> Result<(NodeBytes, u64), NvmError> {
+        if subtree_root.level == 1 {
+            return self.build_touched(nvm);
+        }
+        let inside: Vec<u64> = self
+            .touched_counters(nvm)
+            .into_iter()
+            .filter(|&index| self.geometry.counter_in_subtree(index, subtree_root))
+            .collect();
+        let mut indices = Self::parent_indices(&inside);
+        let mut recomputed = 0u64;
+        for level in ((subtree_root.level + 1)..=self.geometry.bottom_level()).rev() {
+            for &index in &indices {
+                let node = NodeId { level, index };
+                let image = self.compute_node(nvm, node)?;
+                nvm.write_block(self.geometry.node_addr(node), &image)?;
+                recomputed += 1;
+            }
+            indices = Self::parent_indices(&indices);
+        }
+        let image = self.compute_node(nvm, subtree_root)?;
+        nvm.write_block(self.geometry.node_addr(subtree_root), &image)?;
+        Ok((image, recomputed + 1))
+    }
 }
 
 #[cfg(test)]
@@ -484,6 +644,145 @@ mod tests {
             0
         );
         assert_ne!(hasher.counter_mac(&[1u8; 64], 9), 0);
+    }
+
+    #[test]
+    fn sparse_build_matches_dense_build() {
+        let (bmt, mut dense) = setup(512);
+        // Touch a scattered set of counters (different subtrees, incl. the
+        // last ragged one).
+        for idx in [0u64, 3, 130, 150, 191, 511] {
+            let mut c = bmt.read_counter(&mut dense, idx).unwrap();
+            c.increment((idx % 64) as usize);
+            bmt.write_counter(&mut dense, idx, &c).unwrap();
+        }
+        let mut sparse = dense.clone();
+        let dense_root = bmt.build_full(&mut dense).unwrap();
+        let (sparse_root, recomputed) = bmt.build_touched(&mut sparse).unwrap();
+        assert_eq!(sparse_root, dense_root);
+        assert!(recomputed < bmt.geometry().total_nodes());
+        // Both media serve identical bytes everywhere (all-zero frames
+        // normalise away, and every nonzero node is in the touched closure).
+        assert_eq!(sparse.media_image(), dense.media_image());
+        // Verdicts agree too, sparse and dense, on the clean state...
+        assert!(bmt.verify_full(&mut sparse, &sparse_root).unwrap());
+        assert!(bmt.verify_touched(&mut sparse, &sparse_root).unwrap());
+        // ...and after a counter tamper.
+        nvm_tamper_counter(&bmt, &mut sparse, 150);
+        assert!(!bmt.verify_full(&mut sparse, &sparse_root).unwrap());
+        assert!(!bmt.verify_touched(&mut sparse, &sparse_root).unwrap());
+    }
+
+    fn nvm_tamper_counter(bmt: &Bmt, nvm: &mut Nvm, index: u64) {
+        nvm.tamper_flip_bit(bmt.geometry().counter_addr(index) + 5, 1);
+    }
+
+    #[test]
+    fn sparse_verify_agrees_with_dense_on_counter_states() {
+        for pages in [8u64, 12, 64, 512] {
+            let (bmt, mut nvm) = setup(pages);
+            // Untouched device: zero root verifies both ways.
+            let zero_root = [0u8; 64];
+            assert_eq!(
+                bmt.verify_full(&mut nvm, &zero_root).unwrap(),
+                bmt.verify_touched(&mut nvm, &zero_root).unwrap(),
+                "{pages} pages, factory state"
+            );
+            assert!(bmt.verify_touched(&mut nvm, &zero_root).unwrap());
+            let mut c = bmt.read_counter(&mut nvm, pages - 1).unwrap();
+            c.increment(7);
+            bmt.write_counter(&mut nvm, pages - 1, &c).unwrap();
+            let (root, _) = bmt.build_touched(&mut nvm).unwrap();
+            for tamper in [None, Some(0u64), Some(pages - 1)] {
+                let mut probe = nvm.clone();
+                if let Some(idx) = tamper {
+                    nvm_tamper_counter(&bmt, &mut probe, idx);
+                }
+                let mut probe2 = probe.clone();
+                assert_eq!(
+                    bmt.verify_full(&mut probe, &root).unwrap(),
+                    bmt.verify_touched(&mut probe2, &root).unwrap(),
+                    "{pages} pages, tamper {tamper:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_verify_detects_garbage_over_untouched_counters() {
+        let (bmt, mut nvm) = setup(512);
+        let mut c = bmt.read_counter(&mut nvm, 0).unwrap();
+        c.increment(0);
+        bmt.write_counter(&mut nvm, 0, &c).unwrap();
+        let (root, _) = bmt.build_touched(&mut nvm).unwrap();
+        assert!(bmt.verify_touched(&mut nvm, &root).unwrap());
+        // Garbage in a stored node that borders the touched ancestry (a
+        // child of the always-recomputed root) over all-untouched counters:
+        // the dense verify recomputes (and ignores) it, the sparse verify
+        // reads the stored image and flags the mismatch — stricter there.
+        let boundary = NodeId {
+            level: 2,
+            index: bmt.geometry().level_size(2) - 1,
+        };
+        let mut bordering = nvm.clone();
+        bordering.tamper_flip_bit(bmt.geometry().node_addr(boundary), 4);
+        assert!(bmt.verify_full(&mut bordering, &root).unwrap());
+        assert!(!bmt.verify_touched(&mut bordering, &root).unwrap());
+        // Garbage *deep inside* an untouched subtree is never read by either
+        // walk: both treat stored inner nodes as untrusted scratch, so the
+        // verdicts agree (runtime path verification catches it on access).
+        let deep = NodeId {
+            level: bmt.geometry().bottom_level(),
+            index: bmt.geometry().level_size(bmt.geometry().bottom_level()) - 1,
+        };
+        let mut buried = nvm.clone();
+        buried.tamper_flip_bit(bmt.geometry().node_addr(deep), 4);
+        assert!(bmt.verify_full(&mut buried, &root).unwrap());
+        assert!(bmt.verify_touched(&mut buried, &root).unwrap());
+    }
+
+    #[test]
+    fn sparse_subtree_rebuild_matches_dense() {
+        let (bmt, mut dense) = setup(512); // bottom level 3
+        for idx in [130u64, 150, 191] {
+            let mut c = bmt.read_counter(&mut dense, idx).unwrap();
+            c.increment(0);
+            bmt.write_counter(&mut dense, idx, &c).unwrap();
+        }
+        let mut sparse = dense.clone();
+        let sub = NodeId { level: 2, index: 2 };
+        let dense_image = bmt.rebuild_subtree(&mut dense, sub).unwrap();
+        let (sparse_image, recomputed) = bmt.rebuild_subtree_touched(&mut sparse, sub).unwrap();
+        assert_eq!(sparse_image, dense_image);
+        assert_eq!(sparse.media_image(), dense.media_image());
+        // The touched closure is the frame granule (64 counters → up to 8
+        // bottom nodes) plus the subtree root: far fewer nodes than the
+        // dense walk's full 64-bottom-node span.
+        assert!(recomputed <= 9, "recomputed {recomputed}");
+    }
+
+    #[test]
+    fn sparse_work_is_o_touched_not_o_capacity() {
+        // A large geometry on a sparse device: touching one page must keep
+        // build/verify work proportional to the touched closure, not the
+        // 2^18 counters the geometry spans.
+        let geometry = BmtGeometry::new(1 << 30).expect("1 GiB");
+        let mut nvm = Nvm::new(NvmConfig::gib(2));
+        let bmt = Bmt::new(geometry, b"test key");
+        let mut c = bmt.read_counter(&mut nvm, 77).unwrap();
+        c.increment(3);
+        bmt.write_counter(&mut nvm, 77, &c).unwrap();
+        nvm.reset_stats();
+        let (root, recomputed) = bmt.build_touched(&mut nvm).unwrap();
+        // Ancestor closure of one touched frame: 64 counters in the frame,
+        // their 8 bottom nodes, and one node per level above.
+        assert!(recomputed <= 8 + bmt.geometry().bottom_level() as u64);
+        let build_reads = nvm.stats().reads;
+        assert!(build_reads < 200, "build read {build_reads} blocks");
+        nvm.reset_stats();
+        assert!(bmt.verify_touched(&mut nvm, &root).unwrap());
+        let verify_reads = nvm.stats().reads;
+        assert!(verify_reads < 300, "verify read {verify_reads} blocks");
     }
 
     #[test]

@@ -1773,10 +1773,12 @@ impl SecureMemory {
         )
     }
 
-    /// Recomputes the whole tree from the counters and compares it with the
-    /// on-chip root register — an offline consistency audit. For AMNT this
-    /// is only meaningful right after a transition or recovery (the register
-    /// intentionally diverges from the stored tree during residency).
+    /// Recomputes the touched ancestor closure of the tree from the counters
+    /// and compares it with the on-chip root register — an offline
+    /// consistency audit, O(touched lines) rather than O(capacity) (see
+    /// [`amnt_bmt::Bmt::verify_touched`]). For AMNT this is only meaningful
+    /// right after a transition or recovery (the register intentionally
+    /// diverges from the stored tree during residency).
     ///
     /// # Errors
     ///
@@ -1786,6 +1788,6 @@ impl SecureMemory {
         // deferred check before vouching for the tree.
         self.flush_verify_queue()?;
         let root = self.root_register;
-        Ok(self.bmt.verify_full(&mut self.nvm, &root)?)
+        Ok(self.bmt.verify_touched(&mut self.nvm, &root)?)
     }
 }

@@ -35,6 +35,13 @@
 //!   ([`SweepSummary::idempotence_violations`]), and repeating a completed
 //!   recovery must never do more work than the pass before it
 //!   ([`SweepSummary::work_regressions`]).
+//! * **Tamper interleaving** ([`FaultSweepConfig::tamper`]): at every clean
+//!   crash point a bit is flipped on the raw media between the nested
+//!   recovery crash and the second recovery (targets rotating over a
+//!   committed data block, its counter block, and its bottom-level tree
+//!   node). The tamper must be healed by an authenticated rebuild or
+//!   detected by a recovery error / read-back MAC failure — a silent
+//!   outcome lands in [`SweepSummary::tamper_silent`] and must stay zero.
 //! * **Eviction-writeback crash points**: metadata-cache eviction
 //!   writebacks persist tree nodes *out of protocol order* — the exact
 //!   hazard lazy (leaf-style) persistence claims to bound — so their
@@ -61,7 +68,7 @@
 
 use crate::error::IntegrityError;
 use crate::protocol::ProtocolKind;
-use crate::recovery::{RecoveryModel, RecoveryReport, RecoveryScenario};
+use crate::recovery::RecoveryReport;
 use crate::untimed::UntimedMemory;
 use crate::{
     AmntConfig, AnubisConfig, BmfConfig, OsirisConfig, SecureMemory, SecureMemoryConfig, BLOCK_SIZE,
@@ -95,6 +102,13 @@ pub struct FaultSweepConfig {
     /// (16 lines) so dirty eviction writebacks — their own crash-point
     /// class — occur even at smoke-test workload sizes.
     pub metadata_cache_bytes: usize,
+    /// Tamper-interleaving pass: at every clean crash point, flip one media
+    /// bit between the nested recovery crash and the second recovery (or
+    /// between the crash and its recovery when the baseline recovery does
+    /// no device writes) and require the tamper to be healed or *detected*,
+    /// never silent. The target class cycles per ordinal over a committed
+    /// data block, its counter block, and its bottom-level node.
+    pub tamper: bool,
 }
 
 impl Default for FaultSweepConfig {
@@ -107,6 +121,7 @@ impl Default for FaultSweepConfig {
             torn: true,
             recovery_faults: true,
             metadata_cache_bytes: 1024,
+            tamper: true,
         }
     }
 }
@@ -186,6 +201,20 @@ pub struct SweepSummary {
     /// must stay zero: deferred checks are read-side speculation and
     /// discarding them at power loss must not lose committed state.
     pub verify_queue_silent: u64,
+    /// Tamper-interleaving scenarios explored (one per clean crash point
+    /// when [`FaultSweepConfig::tamper`] is set): a bit flipped on the
+    /// media between the nested recovery crash and the second recovery.
+    pub tamper_points: u64,
+    /// Tamper scenarios where the final recovery returned an error or a
+    /// read-back MAC check flagged the damage — the attack was *detected*.
+    pub tamper_detected: u64,
+    /// Tamper scenarios where recovery legitimately rewrote the tampered
+    /// line from authenticated sources and the full read-back matched the
+    /// oracle — the damage was *healed*.
+    pub tamper_healed: u64,
+    /// Tamper scenarios that exposed wrong bytes with no error — subset of
+    /// `silent`, must stay zero.
+    pub tamper_silent: u64,
 }
 
 /// One workload operation.
@@ -385,17 +414,19 @@ fn classify_readback(
 
 /// Analytical ceiling on `nodes_recomputed` for `kind`, derived from the
 /// [`RecoveryModel`] stale fractions (Table 4): Strict rebuilds nothing,
-/// Leaf/Osiris rebuild exactly the whole tree, Anubis is bounded by the
-/// metadata cache, BMF by its frontier capacity, AMNT by its subtree.
+/// Leaf/Osiris rebuild at most the whole tree (the sparse walk rebuilds only
+/// the touched ancestor closure), Anubis is bounded by the metadata cache,
+/// BMF by its frontier capacity, AMNT by its subtree.
 fn report_in_bounds(kind: ProtocolKind, mem: &SecureMemory, report: &RecoveryReport) -> bool {
     let g = mem.geometry();
     let total = g.total_nodes();
-    let model = RecoveryModel::default();
     match kind {
         ProtocolKind::Strict | ProtocolKind::Plp => {
             report.nodes_recomputed == 0 && report.nvm_writes == 0
         }
-        ProtocolKind::Leaf | ProtocolKind::Osiris(_) => report.nodes_recomputed == total,
+        ProtocolKind::Leaf | ProtocolKind::Osiris(_) => {
+            report.nodes_recomputed >= 1 && report.nodes_recomputed <= total
+        }
         ProtocolKind::Anubis(_) => {
             let lines = mem.config().metadata_cache.lines() as u64;
             report.nodes_recomputed <= total.min(lines * g.bottom_level() as u64)
@@ -404,9 +435,16 @@ fn report_in_bounds(kind: ProtocolKind, mem: &SecureMemory, report: &RecoveryRep
             report.nodes_recomputed <= (c.capacity as u64) * g.bottom_level() as u64
         }
         ProtocolKind::Amnt(c) => {
-            let frac = model.stale_fraction(RecoveryScenario::AmntLevel(c.subtree_level));
-            let bound = (total as f64 * frac).ceil() as u64 + c.subtree_level as u64 + 1;
-            report.nodes_recomputed <= bound
+            // Exact subtree-closure capacity (the model's stale fraction is
+            // an asymptotic approximation that undercounts small trees):
+            // every node the subtree can hold, plus the fold path to the
+            // root register.
+            let mut bound = c.subtree_level as u64;
+            for level in c.subtree_level..=g.bottom_level() {
+                let span = amnt_bmt::TREE_ARITY.pow(level - c.subtree_level);
+                bound += g.level_size(level).min(span);
+            }
+            report.nodes_recomputed <= bound.min(total + c.subtree_level as u64)
         }
         _ => true,
     }
@@ -496,7 +534,9 @@ pub fn run_sweep(
     };
 
     // Phase 2: clean and torn crashes at every ordinal. Each clean crash
-    // doubles as the baseline for the nested recovery-fault sweep.
+    // doubles as the baseline for the nested recovery-fault sweep, and its
+    // recovery-phase write count is kept for the tamper pass (phase 5).
+    let mut recovery_writes_by_k = vec![0u64; total as usize];
     for k in 0..total {
         let boundary = boundaries.binary_search(&k).is_ok();
         let evict = evict_ordinals.contains(&k);
@@ -516,6 +556,7 @@ pub fn run_sweep(
                     // read-back: read-path cache evictions would otherwise
                     // keep consuming recovery-domain ordinals.
                     recovery_writes = mem.nvm_mut().device_write_ordinals();
+                    recovery_writes_by_k[k as usize] = recovery_writes;
                     if !report_in_bounds(kind, &mem, &report) {
                         s.bounds_violations += 1;
                     }
@@ -690,6 +731,96 @@ pub fn run_sweep(
                     s.silent += 1;
                     s.verify_queue_silent += 1;
                     s.boundary_deficit += 1;
+                }
+            }
+        }
+    }
+
+    // Phase 5: tamper interleaving. For every clean crash point, interleave
+    // an active attack with the crash/recovery sequence: crash at `k`, let
+    // recovery run until a nested crash at one of its own device writes
+    // (when the baseline recovery writes at all), then flip one bit on the
+    // raw media before the second recovery completes. The flipped line must
+    // either be *healed* — recovery rewrites it from authenticated state —
+    // or *detected* by a recovery error or a read-back MAC failure. Silence
+    // is an integrity-protection failure regardless of crash timing.
+    //
+    // The target cycles by ordinal over the three line classes recovery
+    // touches differently: a committed data block (never rewritten by
+    // recovery, so the read MAC must catch it), that block's counter block
+    // (the dirty-shutdown audit and root re-derivation must catch it), and
+    // its bottom-level tree node (rebuilt by lazy protocols — healed — or
+    // caught by the parent-MAC chain on read-back).
+    if cfg.tamper {
+        for k in 0..total {
+            let rec_writes = recovery_writes_by_k[k as usize];
+            let plan: Box<dyn FaultHook> = if rec_writes > 0 {
+                Box::new(PhasedPlan::two_phase(
+                    FaultPlan::crash_after(k),
+                    FaultPlan::crash_after(k % rec_writes),
+                ))
+            } else {
+                Box::new(FaultPlan::crash_after(k))
+            };
+            let (mut mem, completed, faulted) = replay(kind, cfg, &w, plan, w.ops.len())?;
+            if !faulted {
+                continue;
+            }
+            mem.crash();
+            if rec_writes > 0 {
+                match mem.recover() {
+                    // The nested crash fired mid-recovery: crash again with
+                    // the power-failure flag still set, so the second
+                    // recovery sees a dirty shutdown.
+                    Err(ref e) if recovery_power_failed(e) => {}
+                    // The baseline either detected before reaching ordinal
+                    // `k % rec_writes` or completed without it firing; fall
+                    // back to tampering a cleanly re-crashed state.
+                    _ => {
+                        mem.nvm_mut().disarm_fault_hook();
+                    }
+                }
+                mem.crash();
+            }
+            // Deterministic target: a committed (preferably) workload
+            // address that is not the interrupted op's own block, so a read
+            // error there is never excused by the mid-update exemption.
+            let interrupted = w.interrupted_target(completed);
+            let target_data = w
+                .history
+                .iter()
+                .find(|(&a, h)| {
+                    Some(a) != interrupted && h.first().is_some_and(|&(i, _)| i < completed)
+                })
+                .or_else(|| w.history.iter().find(|(&a, _)| Some(a) != interrupted))
+                .map(|(&a, _)| a)
+                .unwrap_or(0);
+            let g = mem.geometry();
+            let counter = g.counter_index(target_data);
+            let (tamper_addr, bit) = match k % 3 {
+                0 => (target_data + 3, 2),
+                2 if g.bottom_level() >= 2 => (g.node_addr(g.counter_parent(counter)) + 7, 0),
+                _ => (g.counter_addr(counter) + 5, 1),
+            };
+            mem.nvm_mut().tamper_flip_bit(tamper_addr, bit);
+            s.tamper_points += 1;
+            match mem.recover() {
+                Err(_) => s.tamper_detected += 1,
+                Ok(report) => {
+                    if !report_in_bounds(kind, &mem, &report) {
+                        s.bounds_violations += 1;
+                    }
+                    match classify_readback(&mut mem, &w, completed, false, false) {
+                        Outcome::Recovered { reads_detected: 0 } => s.tamper_healed += 1,
+                        Outcome::Recovered { .. } | Outcome::Detected => s.tamper_detected += 1,
+                        Outcome::Silent => {
+                            s.tamper_silent += 1;
+                            s.silent += 1;
+                            if evict_ordinals.contains(&k) {
+                                s.evict_silent += 1;
+                            }
+                        }
+                    }
                 }
             }
         }

@@ -5,7 +5,7 @@ use crate::controller::SecureMemory;
 use crate::error::RecoveryError;
 use crate::protocol::ProtocolState;
 use crate::untimed::NvmUntimed;
-use amnt_bmt::{set_slot, NodeId, PAGE_SIZE, TREE_ARITY};
+use amnt_bmt::{set_slot, NodeId, PAGE_SIZE};
 use std::collections::BTreeSet;
 
 /// What a recovery pass did, and whether the rebuilt state matched the
@@ -44,9 +44,12 @@ impl SecureMemory {
     /// stored tree is globally consistent with the on-chip root register and
     /// normal operation may resume.
     ///
-    /// The functional scan is proportional to *touched* memory; for
-    /// multi-terabyte projections use
-    /// [`RecoveryModel`] instead (that is what the paper's Table 4 reports).
+    /// Every path here is O(touched lines): the procedures scan the touched
+    /// frame set and its authentication paths (never the address space), so
+    /// a multi-terabyte device with a small hot set recovers in time
+    /// proportional to the hot set. [`RecoveryModel`] gives the analytical
+    /// Table 4 projection; the simulated `table4_recovery` column reconciles
+    /// the two.
     ///
     /// # Errors
     ///
@@ -80,7 +83,7 @@ impl SecureMemory {
             crate::ProtocolKind::Volatile => {
                 let (nvm, bmt, root, _, _) = self.parts_for_recovery();
                 let root = *root;
-                let ok = bmt.verify_full(nvm, &root)?;
+                let ok = bmt.verify_touched(nvm, &root)?;
                 if !ok {
                     return Err(RecoveryError::Unrecoverable {
                         reason: "volatile metadata lost at power failure; persisted counters \
@@ -98,7 +101,7 @@ impl SecureMemory {
                 // Recoverable iff the battery covered the whole dirty set.
                 let (nvm, bmt, root, _, _) = self.parts_for_recovery();
                 let root = *root;
-                let ok = bmt.verify_full(nvm, &root)?;
+                let ok = bmt.verify_touched(nvm, &root)?;
                 if !ok {
                     return Err(RecoveryError::Unrecoverable {
                         reason: "battery budget did not cover the dirty metadata set; \
@@ -110,8 +113,8 @@ impl SecureMemory {
             }
             crate::ProtocolKind::Leaf => {
                 let (nvm, bmt, root, _, _) = self.parts_for_recovery();
-                nodes_recomputed = bmt.geometry().total_nodes();
-                let computed = bmt.build_full(nvm)?;
+                let (computed, recomputed) = bmt.build_touched(nvm)?;
+                nodes_recomputed = recomputed;
                 if computed != *root {
                     return Err(RecoveryError::RootMismatch);
                 }
@@ -120,8 +123,8 @@ impl SecureMemory {
             crate::ProtocolKind::Osiris(cfg) => {
                 counters_recovered = self.recover_all_counters(cfg.stop_loss)?;
                 let (nvm, bmt, root, _, _) = self.parts_for_recovery();
-                nodes_recomputed = bmt.geometry().total_nodes();
-                let computed = bmt.build_full(nvm)?;
+                let (computed, recomputed) = bmt.build_touched(nvm)?;
+                nodes_recomputed = recomputed;
                 if computed != *root {
                     return Err(RecoveryError::RootMismatch);
                 }
@@ -146,14 +149,17 @@ impl SecureMemory {
         // Safety net for device-level faults: the per-protocol procedure
         // above may have healed everything it knows about, but nothing in it
         // proves the media survived a mid-write power cut or a dropped WPQ
-        // tail intact. Re-derive the whole tree from the counters and check
-        // it against the on-chip root register so such damage is always
-        // *detected* (an error), never silently absorbed. Clean op-boundary
-        // crashes skip this, keeping Strict/PLP recovery at zero work.
+        // tail intact. Re-derive the touched ancestor closure from the
+        // counters and check it against the on-chip root register so such
+        // damage is always *detected* (an error), never silently absorbed.
+        // O(touched): every nonzero counter lives in a touched frame, so the
+        // sparse walk covers everything the dense one would (see
+        // `Bmt::verify_touched`). Clean op-boundary crashes skip this,
+        // keeping Strict/PLP recovery at zero work.
         if dirty_shutdown {
             let (nvm, bmt, root, _, _) = self.parts_for_recovery();
             let root = *root;
-            if !bmt.verify_full(nvm, &root)? {
+            if !bmt.verify_touched(nvm, &root)? {
                 return Err(RecoveryError::RootMismatch);
             }
         }
@@ -173,13 +179,39 @@ impl SecureMemory {
         Ok(report)
     }
 
-    /// Osiris-style bounded re-derivation of every (touched) counter block:
+    /// Osiris-style bounded re-derivation of every *touched* counter block:
     /// each minor is advanced until the persisted data HMAC matches, up to
-    /// the stop-loss bound.
+    /// the stop-loss bound. The candidate set is the union of counters whose
+    /// counter frame, data page, or HMAC lane frame has been touched — a
+    /// lagging counter can be behind persisted data even when the counter
+    /// block itself never reached the media, so the data/HMAC regions vote
+    /// too. Untouched pages (all three regions virgin) are exactly the
+    /// factory state and need no trial.
     fn recover_all_counters(&mut self, stop_loss: u32) -> Result<u64, RecoveryError> {
-        let total = self.geometry().counter_blocks();
+        let g = self.geometry().clone();
+        let candidates = {
+            let (nvm, bmt, _, _, _) = self.parts_for_recovery();
+            let mut set: BTreeSet<u64> = bmt.touched_counters(nvm).into_iter().collect();
+            // One data frame is one page is one counter.
+            for frame in nvm.touched_frames_in(0, g.data_capacity()) {
+                set.insert(g.counter_index(frame));
+            }
+            // One HMAC frame covers FRAME_SIZE / 8 blocks = 8 pages.
+            let hmac_base = g.hmac_addr(0);
+            let hmac_end = hmac_base + g.data_capacity() / 64 * 8;
+            for frame in nvm.touched_frames_in(hmac_base, hmac_end) {
+                // Lane byte `o` (from hmac_base) belongs to data block o/8,
+                // i.e. counter (o/8)*64 / PAGE_SIZE = o/512.
+                let lo = frame.max(hmac_base) - hmac_base;
+                let hi = (lo + amnt_nvm::FRAME_SIZE as u64).min(hmac_end - hmac_base);
+                for counter in (lo / 512)..=((hi - 1) / 512).min(g.counter_blocks() - 1) {
+                    set.insert(counter);
+                }
+            }
+            set
+        };
         let mut recovered = 0;
-        for index in 0..total {
+        for index in candidates {
             if self.recover_counter(index, stop_loss)? {
                 recovered += 1;
             }
@@ -349,7 +381,8 @@ impl SecureMemory {
             },
             _ => return Ok(0),
         };
-        let computed = bmt.rebuild_subtree(nvm, id).map_err(RecoveryError::Device)?;
+        let (computed, rebuilt) =
+            bmt.rebuild_subtree_touched(nvm, id).map_err(RecoveryError::Device)?;
         if computed != reg_image {
             return Err(RecoveryError::RootMismatch);
         }
@@ -373,9 +406,7 @@ impl SecureMemory {
             folded += 1;
         }
         set_slot(root_register, child_slot, child_mac);
-        // Stale nodes were strictly inside the subtree.
-        let stale = (g.counters_per_node(id.level) / TREE_ARITY).max(1);
-        Ok(stale + folded)
+        Ok(rebuilt + folded)
     }
 }
 

@@ -129,9 +129,12 @@ fn recovery_reports_reflect_protocol_rebuild_work() {
                 assert_eq!(report.nodes_recomputed, 0, "{kind}: strict recomputed nodes");
             }
             ProtocolKind::Leaf | ProtocolKind::Osiris(_) => {
-                assert_eq!(
-                    report.nodes_recomputed, total,
-                    "{kind}: whole-tree rebuild expected"
+                // Sparse rebuild: the touched ancestor closure only — one
+                // hot page, so far fewer nodes than the whole tree.
+                assert!(
+                    report.nodes_recomputed >= 1 && report.nodes_recomputed < total,
+                    "{kind}: touched-closure rebuild expected, got {} of {total}",
+                    report.nodes_recomputed
                 );
                 assert!(report.nvm_reads > 0, "{kind}: rebuild without device reads");
             }

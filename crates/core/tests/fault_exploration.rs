@@ -50,6 +50,29 @@ fn no_silent_corruption_at_any_crash_point() {
 }
 
 #[test]
+fn tampering_between_crash_and_recovery_is_never_silent() {
+    // Active-attack interleaving: a bit flipped on the raw media between
+    // the nested recovery crash and the second recovery (data block,
+    // counter block, and bottom tree node targets in rotation) must always
+    // be healed by an authenticated rebuild or detected — for every one of
+    // the six protocols, at every clean crash point.
+    let cfg = sweep_config();
+    for (name, kind) in sweep_protocols() {
+        let s = run_sweep(kind, &cfg).unwrap_or_else(|e| panic!("{name}: sweep setup: {e}"));
+        assert!(s.tamper_points > 0, "{name}: no tamper scenarios ran: {s:?}");
+        assert_eq!(s.tamper_silent, 0, "{name}: silent tamper outcomes: {s:?}");
+        assert_eq!(
+            s.tamper_detected + s.tamper_healed,
+            s.tamper_points,
+            "{name}: unclassified tamper scenarios: {s:?}"
+        );
+        // A flipped bit is never detected-for-free: at least one scenario
+        // per protocol must have actually caught the damage.
+        assert!(s.tamper_detected > 0, "{name}: every tamper slipped through as healed: {s:?}");
+    }
+}
+
+#[test]
 fn nested_recovery_crashes_are_idempotent() {
     // The tentpole invariant: crash the mutation path, crash recovery at
     // every one of *its* device writes (clean + both torn halves), recover

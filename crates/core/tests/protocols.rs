@@ -294,12 +294,15 @@ fn strict_recovery_does_no_work() {
 }
 
 #[test]
-fn leaf_recovery_rebuilds_whole_tree() {
+fn leaf_recovery_rebuilds_touched_closure() {
     let mut m = mem(ProtocolKind::Leaf, 16 * MIB);
     crash_workload(&mut m);
     m.crash();
     let report = m.recover().unwrap();
-    assert_eq!(report.nodes_recomputed, m.geometry().total_nodes());
+    // Sparse rebuild: at least the root, at most the whole tree — and with
+    // a small workload footprint, strictly less than the dense walk.
+    assert!(report.nodes_recomputed >= 1);
+    assert!(report.nodes_recomputed < m.geometry().total_nodes());
     assert!(report.nvm_reads > 0);
 }
 

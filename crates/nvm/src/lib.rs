@@ -24,8 +24,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
+use std::ops::Bound;
 
 mod fault;
 mod start_gap;
@@ -37,8 +38,10 @@ pub use start_gap::StartGap;
 
 /// Size of a memory block (cache line) in bytes.
 pub const BLOCK_SIZE: usize = 64;
-/// Size of a backing frame in bytes.
-const FRAME_SIZE: usize = 4096;
+/// Size of a backing frame in bytes — the on-demand materialization
+/// granularity. Sparse consumers (the O(touched) recovery paths) partition
+/// the address space at this granule via [`Nvm::touched_frames`].
+pub const FRAME_SIZE: usize = 4096;
 
 /// Device geometry and timing.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -151,7 +154,9 @@ pub struct NvmStats {
 #[derive(Debug, Clone, Default)]
 pub struct Nvm {
     config: NvmConfig,
-    frames: HashMap<u64, Box<[u8; FRAME_SIZE]>>,
+    /// Backing frames keyed by frame index (`addr / FRAME_SIZE`). Ordered so
+    /// touched-frame enumeration is deterministic regardless of touch order.
+    frames: BTreeMap<u64, Box<[u8; FRAME_SIZE]>>,
     stats: NvmStats,
     /// Bumped on every crash; lets tests assert they really crossed one.
     generation: u64,
@@ -199,7 +204,7 @@ impl Nvm {
     pub fn new(config: NvmConfig) -> Self {
         Nvm {
             config,
-            frames: HashMap::new(),
+            frames: BTreeMap::new(),
             stats: NvmStats::default(),
             generation: 0,
             fault: None,
@@ -372,14 +377,38 @@ impl Nvm {
     /// bytes at every address. The idempotence sweeps compare post-recovery
     /// media states with this.
     pub fn media_image(&self) -> Vec<(u64, Vec<u8>)> {
-        let mut frames: Vec<(u64, Vec<u8>)> = self
-            .frames
+        // BTreeMap iteration is already sorted by frame index.
+        self.frames
             .iter()
             .filter(|(_, frame)| frame.iter().any(|&b| b != 0))
             .map(|(base, frame)| (*base, frame.to_vec()))
-            .collect();
-        frames.sort_unstable_by_key(|(base, _)| *base);
-        frames
+            .collect()
+    }
+
+    /// Deterministic enumeration of every touched (backed) frame: ordered
+    /// base byte addresses, ascending. A frame is *touched* once any byte in
+    /// it has ever been written (even with zeros); untouched frames read as
+    /// zero and never appear here. This is the contract the O(touched)
+    /// recovery paths scan instead of the address space.
+    pub fn touched_frames(&self) -> impl Iterator<Item = u64> + '_ {
+        self.frames.keys().map(|index| index * FRAME_SIZE as u64)
+    }
+
+    /// [`Nvm::touched_frames`] restricted to base addresses in
+    /// `[start, end)`. `start` need not be frame-aligned: a frame whose base
+    /// lies below `start` but which overlaps it is included, since bytes in
+    /// `[start, end)` may live there.
+    pub fn touched_frames_in(&self, start: u64, end: u64) -> impl Iterator<Item = u64> + '_ {
+        let first = start / FRAME_SIZE as u64;
+        let last = end.div_ceil(FRAME_SIZE as u64);
+        self.frames
+            .range((Bound::Included(first), Bound::Excluded(last)))
+            .map(|(index, _)| index * FRAME_SIZE as u64)
+    }
+
+    /// Whether the frame containing `addr` is backed (has ever been written).
+    pub fn frame_touched(&self, addr: u64) -> bool {
+        self.frames.contains_key(&(addr / FRAME_SIZE as u64))
     }
 
     /// Opens an atomic write group: until the matching [`Nvm::end_atomic`],
@@ -972,6 +1001,76 @@ mod tests {
         assert_eq!(nvm.eviction_write_ordinals(), &[] as &[u64]);
         nvm.write_block(0, &[5; 64]).unwrap();
         assert_eq!(nvm.eviction_write_ordinals(), &[] as &[u64]);
+    }
+
+    #[test]
+    fn address_math_near_u64_max_rejects_without_wrapping() {
+        let mut nvm = Nvm::new(NvmConfig::gib(1));
+        // addr + len overflows u64: must be OutOfBounds, not a wrapped hit.
+        let mut buf = [0u8; 64];
+        assert!(matches!(
+            nvm.read_bytes(u64::MAX - 16, &mut buf),
+            Err(NvmError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            nvm.write_bytes(u64::MAX, &[1, 2, 3]),
+            Err(NvmError::OutOfBounds { .. })
+        ));
+        // Exactly at the overflow boundary: addr + len == u64::MAX + 1.
+        assert!(matches!(
+            nvm.write_bytes(u64::MAX - 63, &[0u8; 64]),
+            Err(NvmError::OutOfBounds { .. })
+        ));
+        // Zero-length access at u64::MAX: end == u64::MAX > capacity.
+        assert!(nvm.read_bytes(u64::MAX, &mut []).is_err());
+        // Zero-length access exactly at capacity is in bounds.
+        let cap = nvm.config().capacity_bytes;
+        assert!(nvm.read_bytes(cap, &mut []).is_ok());
+        assert_eq!(nvm.resident_frames(), 0, "rejected accesses materialize nothing");
+    }
+
+    #[test]
+    fn never_touched_frames_read_zero_across_crash_and_stay_unmaterialized() {
+        let mut nvm = Nvm::new(NvmConfig::gib(1));
+        nvm.write_block(0x40, &[7u8; 64]).unwrap();
+        nvm.crash();
+        // A never-touched frame reads zero after the crash...
+        assert_eq!(nvm.read_block(0x8000).unwrap(), [0u8; 64]);
+        // ...and the read did not materialize it.
+        assert_eq!(nvm.resident_frames(), 1);
+        assert!(nvm.frame_touched(0x40));
+        assert!(!nvm.frame_touched(0x8000));
+    }
+
+    #[test]
+    fn rollback_bytes_on_unmaterialized_frame_backs_it() {
+        let mut nvm = Nvm::new(NvmConfig::gib(1));
+        assert_eq!(nvm.resident_frames(), 0);
+        nvm.rollback_bytes(0x2000, &[5u8; 16]);
+        assert!(nvm.frame_touched(0x2000));
+        let mut buf = [0u8; 16];
+        nvm.read_bytes(0x2000, &mut buf).unwrap();
+        assert_eq!(buf, [5u8; 16]);
+        // Rolling back an all-zero image also backs the frame (the frame
+        // was written to at some point pre-crash, so it counts as touched).
+        nvm.rollback_bytes(0x5000, &[0u8; 64]);
+        assert!(nvm.frame_touched(0x5000));
+        assert_eq!(nvm.resident_frames(), 2);
+    }
+
+    #[test]
+    fn touched_frames_enumerate_in_address_order_regardless_of_touch_order() {
+        let mut nvm = Nvm::new(NvmConfig::gib(1));
+        for addr in [0x9000u64, 0x1000, 0x40_0000, 0x3000] {
+            nvm.write_block(addr, &[1u8; 64]).unwrap();
+        }
+        let bases: Vec<u64> = nvm.touched_frames().collect();
+        assert_eq!(bases, vec![0x1000, 0x3000, 0x9000, 0x40_0000]);
+        // Ranged enumeration clips to overlap, end-exclusive.
+        let mid: Vec<u64> = nvm.touched_frames_in(0x1040, 0x9001).collect();
+        assert_eq!(mid, vec![0x1000, 0x3000, 0x9000]);
+        let none: Vec<u64> = nvm.touched_frames_in(0x4000, 0x9000).collect();
+        assert_eq!(none, vec![] as Vec<u64>);
     }
 
     #[test]

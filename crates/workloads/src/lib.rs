@@ -24,9 +24,11 @@
 #![warn(missing_docs)]
 
 mod gen;
+mod sparse;
 mod trace_file;
 mod model;
 
 pub use gen::{Event, EventStream, TraceGen, TraceOp, BLOCK, PAGE};
+pub use sparse::SparseHotSet;
 pub use trace_file::{read_trace, write_trace, TraceFileError};
 pub use model::{multiprogram_pairs, parsec, spec2017, Suite, WorkloadModel};

@@ -99,6 +99,22 @@ AMNT_JOBS=1 trace_smoke || fail=1
 rm -rf "$tracedir"
 [ "$fail" -eq 0 ] && echo "   trace smoke: sidecars deterministic, observer pure"
 
+echo "== table4 recovery (2 TB simulated recovery smoke) =="
+# The simulated column runs a real crash + O(touched) recovery on an actual
+# (sparse-frame) 2 TB device and reconciles against the analytical leaf
+# anchor; perfgate pins the extrapolated cell to 6222.21 ms ± 2%. The
+# functional grid is parallel, so the artifact must also be byte-identical
+# across AMNT_JOBS (wall-clock lives in the .host.json sidecar).
+t4dir="$(mktemp -d)"
+AMNT_JOBS=1 cargo run --release -p amnt-bench --bin table4_recovery || fail=1
+cp results/table4.json "$t4dir"/ || fail=1
+AMNT_JOBS=2 cargo run --release -q -p amnt-bench --bin table4_recovery >/dev/null || fail=1
+if ! cmp -s "$t4dir/table4.json" results/table4.json; then
+    echo "   table4: artifact differs between AMNT_JOBS=1 and 2"
+    fail=1
+fi
+rm -rf "$t4dir"
+
 echo "== crypto bench (multi-lane MAC engine) =="
 # Host-clock ns/op for the scalar vs 8-lane batched 85-byte MAC; perfgate
 # holds the batched path to >= 1.6x scalar throughput per MAC (and <= 0.6x
