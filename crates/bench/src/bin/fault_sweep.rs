@@ -21,9 +21,11 @@
 //! each sweep is a pure function of (protocol, seed, ops), so the artifact
 //! is byte-identical across `AMNT_JOBS` settings.
 
-use amnt_bench::{ExperimentResult, Grid, HostTimer};
-use amnt_core::fault::{run_sweep, sweep_protocols};
+use amnt_bench::{results_dir, ExperimentResult, Grid, HostTimer};
+use amnt_core::fault::{run_sweep_traced, sweep_protocols};
 use amnt_core::{FaultSweepConfig, SweepSummary};
+use amnt_trace::{metrics_document, TraceReport};
+use std::io::Write as _;
 
 fn main() {
     let timer = HostTimer::start();
@@ -36,11 +38,12 @@ fn main() {
         ..FaultSweepConfig::default()
     };
 
-    let mut grid: Grid<SweepSummary> = Grid::new();
+    let mut grid: Grid<(SweepSummary, TraceReport)> = Grid::new();
     for (name, kind) in sweep_protocols() {
         let cfg = cfg.clone();
         grid.add(name, "sweep", move || {
-            run_sweep(kind, &cfg).unwrap_or_else(|e| panic!("{name}: sweep setup failed: {e}"))
+            run_sweep_traced(kind, &cfg)
+                .unwrap_or_else(|e| panic!("{name}: sweep setup failed: {e}"))
         });
     }
     let results = grid.run();
@@ -65,7 +68,7 @@ fn main() {
         "crash-point exploration outcomes per protocol",
     );
     for cell in results.cells() {
-        let s = &cell.value;
+        let s = &cell.value.0;
         println!(
             "{:<9}{:>7}{:>7}{:>7}{:>9}{:>9}{:>7}{:>7}{:>9}{:>7}{:>9}",
             cell.row,
@@ -145,7 +148,7 @@ fn main() {
         "vq_sil"
     );
     for cell in results.cells() {
-        let s = &cell.value;
+        let s = &cell.value.0;
         println!(
             "{:<9}{:>7}{:>9}{:>9}{:>9}{:>9}{:>9}{:>9}{:>7}{:>7}{:>8}{:>8}",
             cell.row,
@@ -167,7 +170,7 @@ fn main() {
         "protocol", "tam_pts", "tam_det", "tam_heal", "tam_sil"
     );
     for cell in results.cells() {
-        let s = &cell.value;
+        let s = &cell.value.0;
         println!(
             "{:<9}{:>9}{:>9}{:>9}{:>9}",
             cell.row, s.tamper_points, s.tamper_detected, s.tamper_healed, s.tamper_silent
@@ -181,4 +184,21 @@ fn main() {
     result.set_host(&timer, results.workers);
     let path = result.save().expect("save results");
     println!("saved {}", path.display());
+
+    // Sweep observability sidecar: per-protocol strike-ordinal
+    // distributions, baseline recovery phase durations, and touched-closure
+    // sizes. Derived purely from (protocol, seed, ops) — byte-identical
+    // across `AMNT_JOBS`, and it never feeds back into the main artifact.
+    let trace_cells: Vec<(String, String, &TraceReport)> = results
+        .cells()
+        .iter()
+        .map(|c| (c.row.clone(), c.col.clone(), &c.value.1))
+        .collect();
+    let doc = metrics_document("fault_sweep", &trace_cells);
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).expect("results dir");
+    let trace_path = dir.join("fault_sweep.trace.json");
+    let mut f = std::fs::File::create(&trace_path).expect("create sweep trace sidecar");
+    f.write_all(doc.as_bytes()).expect("write sweep trace sidecar");
+    println!("saved {}", trace_path.display());
 }

@@ -11,7 +11,14 @@
 //! rank  <artifact> <better_col> <worse_col>     # gmean ordering, 2% slack
 //! min   <artifact> <row> <col> <bound>          # one-sided cell floor
 //! max   <artifact> <row> <col> <bound>          # one-sided cell ceiling
+//! series <artifact> <row> <col> <field> <form> [param]   # epoch series
 //! ```
+//!
+//! `series` directives read the `results/<artifact>.trace.json` sidecar's
+//! epoch time-series instead of the flat artifact — see
+//! [`amnt_bench::series`] for the forms (`recovers_within`, `monotone`,
+//! `bounded_drop`, `final_at_least`, `final_at_most`) and field grammar.
+//! Like flat directives, a missing sidecar skips the check.
 //!
 //! Artifacts that are missing are *skipped* (the gate never forces a full
 //! benchmark run), so `scripts/check.sh` can run this unconditionally:
@@ -215,6 +222,8 @@ fn main() {
     let mut skipped = 0usize;
     let mut failures = 0usize;
     let mut cache: std::collections::BTreeMap<String, Artifact> = Default::default();
+    let mut sidecars: std::collections::BTreeMap<String, Option<Result<amnt_bench::Json, String>>> =
+        Default::default();
 
     for (lineno, line) in refs {
         let fields: Vec<&str> = line.split_whitespace().collect();
@@ -231,6 +240,34 @@ fn main() {
                 continue;
             }
         };
+
+        // Series directives read the trace sidecar, not the flat artifact.
+        if fields.first() == Some(&"series") {
+            let sidecar = sidecars.entry(artifact_id.clone()).or_insert_with(|| {
+                let path = dir.join(format!("{artifact_id}.trace.json"));
+                std::fs::read_to_string(&path)
+                    .ok()
+                    .map(|s| amnt_bench::Json::parse(&s))
+            });
+            match sidecar {
+                None => {
+                    println!("SKIP  {line}   (no results/{artifact_id}.trace.json)");
+                    skipped += 1;
+                }
+                Some(Err(e)) => {
+                    fail(format!("results/{artifact_id}.trace.json unreadable: {e}"))
+                }
+                Some(Ok(doc)) => match amnt_bench::series::eval_directive(doc, &fields[2..]) {
+                    Ok(desc) => {
+                        println!("ok    series {artifact_id} {desc}");
+                        checked += 1;
+                    }
+                    Err(e) => fail(format!("EXPERIMENTS.md:{lineno}: {e}")),
+                },
+            }
+            continue;
+        }
+
         let artifact = cache
             .entry(artifact_id.clone())
             .or_insert_with(|| load_artifact(&dir, &artifact_id));

@@ -20,12 +20,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod diff;
 pub mod exec;
 pub mod grid;
+pub mod json;
+pub mod series;
 pub mod sweep;
 pub mod trace_out;
 
 pub use grid::{Grid, GridCell, GridResults};
+pub use json::Json;
 pub use trace_out::{save_trace_artifacts, trace_config, with_env_trace};
 
 use amnt_core::{AmntConfig, AnubisConfig, BmfConfig, ProtocolKind};

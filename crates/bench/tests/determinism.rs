@@ -5,9 +5,10 @@
 //! only change scheduling, and results land by declaration index.
 
 use amnt_bench::{ExperimentResult, Grid};
-use amnt_core::fault::{run_sweep, sweep_protocols};
+use amnt_core::fault::{run_sweep, run_sweep_traced, sweep_protocols};
 use amnt_core::{AmntConfig, FaultSweepConfig, ProtocolKind, SweepSummary};
 use amnt_sim::{run_single, MachineConfig, RunLength, SimReport};
+use amnt_trace::{chrome_document, metrics_document, TraceConfig, TraceReport};
 use amnt_workloads::WorkloadModel;
 
 const MIB: u64 = 1024 * 1024;
@@ -152,4 +153,94 @@ fn fault_sweep_artifact_is_byte_identical_across_worker_counts() {
         serial, parallel,
         "fault_sweep artifact varied with worker count"
     );
+}
+
+/// Renders both trace sidecar documents (metrics + Perfetto) for a small
+/// traced simulation grid — the nested-span sidecars, not just the main
+/// artifact.
+fn render_trace_sidecars(workers: usize) -> (String, String) {
+    let len = RunLength {
+        accesses: 6_000,
+        warmup: 600,
+        seed: 11,
+    };
+    let mut grid: Grid<SimReport> = Grid::new();
+    for name in ["canneal", "fluidanimate"] {
+        let model = WorkloadModel::by_name(name).expect("catalogued");
+        for (col, protocol) in [
+            ("leaf", ProtocolKind::Leaf),
+            ("amnt", ProtocolKind::Amnt(AmntConfig::at_level(2))),
+        ] {
+            grid.add(name, col, move || {
+                let mut cfg = MachineConfig::parsec_single().scaled_down(128 * MIB);
+                cfg.trace = Some(TraceConfig::default());
+                run_single(&model, cfg, protocol, len).expect(col)
+            });
+        }
+    }
+    let results = grid.run_with(workers);
+    let metric_cells: Vec<(String, String, &TraceReport)> = results
+        .cells()
+        .iter()
+        .map(|c| (c.row.clone(), c.col.clone(), c.value.trace.as_ref().expect("traced")))
+        .collect();
+    let chrome_cells: Vec<(String, &TraceReport)> = metric_cells
+        .iter()
+        .map(|(row, col, t)| (format!("{row}/{col}"), *t))
+        .collect();
+    (
+        metrics_document("determinism_trace", &metric_cells),
+        chrome_document(&chrome_cells),
+    )
+}
+
+#[test]
+fn trace_sidecars_are_byte_identical_across_worker_counts() {
+    // The span-stack harvest (nested read/meta-fetch/verify frames) rides
+    // in both sidecars; neither may vary with scheduling.
+    let (metrics, chrome) = render_trace_sidecars(1);
+    assert!(chrome.contains("\"parent_id\""), "Perfetto doc lost span nesting");
+    for workers in [2, 4] {
+        let (m, c) = render_trace_sidecars(workers);
+        assert_eq!(metrics, m, "metrics sidecar varied at workers={workers}");
+        assert_eq!(chrome, c, "perfetto sidecar varied at workers={workers}");
+    }
+}
+
+/// Renders the fault-sweep *trace* sidecar (per-scenario strike ordinals,
+/// recovery phase durations, touched-closure sizes) for every protocol.
+fn render_sweep_trace(workers: usize) -> String {
+    let cfg = FaultSweepConfig {
+        ops: 6,
+        ..FaultSweepConfig::default()
+    };
+    let mut grid: Grid<(SweepSummary, TraceReport)> = Grid::new();
+    for (name, kind) in sweep_protocols() {
+        let cfg = cfg.clone();
+        grid.add(name, "sweep", move || {
+            run_sweep_traced(kind, &cfg)
+                .unwrap_or_else(|e| panic!("{name}: traced sweep failed: {e}"))
+        });
+    }
+    let results = grid.run_with(workers);
+    let cells: Vec<(String, String, &TraceReport)> = results
+        .cells()
+        .iter()
+        .map(|c| (c.row.clone(), c.col.clone(), &c.value.1))
+        .collect();
+    metrics_document("fault_sweep", &cells)
+}
+
+#[test]
+fn sweep_trace_sidecar_is_byte_identical_across_worker_counts() {
+    let serial = render_sweep_trace(1);
+    assert!(serial.contains("recovery.scan"), "sweep sidecar lost phase durations");
+    assert!(serial.contains("sweep.strike.clean"), "sweep sidecar lost strike ordinals");
+    for workers in [2, 4] {
+        assert_eq!(
+            serial,
+            render_sweep_trace(workers),
+            "sweep trace sidecar varied at workers={workers}"
+        );
+    }
 }

@@ -101,6 +101,15 @@ pub struct SecureMemory {
     /// (routes [`SecureMemory::meta_fill`] to the cache's LRU-position
     /// prefetch insert instead of an MRU demand fill).
     prefetching: bool,
+    /// Synthetic-cycle cursor for the recovery phase tree. Recovery is
+    /// untimed (untimed device ops only), so phase spans get deterministic
+    /// work-proportional timestamps: each phase advances the cursor by its
+    /// device traffic plus hash ops. Trace-only state — never read by the
+    /// simulation.
+    recovery_cursor: u64,
+    /// Open recovery-phase frames: (start cursor, device reads baseline,
+    /// device writes baseline) per frame, for per-phase deltas at close.
+    recovery_phase_base: Vec<(u64, u64, u64)>,
 }
 
 /// One deferred leaf-MAC check: the flattened authenticated message (see
@@ -183,6 +192,8 @@ impl SecureMemory {
             verify_poison: None,
             prefetch_last: None,
             prefetching: false,
+            recovery_cursor: 0,
+            recovery_phase_base: Vec::new(),
             nvm,
             kind,
             config,
@@ -251,6 +262,16 @@ impl SecureMemory {
         self.nvm.set_tracing(true);
         self.trace_epoch_base = self.snapshot();
         self.trace_epoch_next = 0;
+    }
+
+    /// Turns cycle-domain tracing back off, discarding everything recorded.
+    /// Harvest with [`SecureMemory::trace_report`] first. The fault sweep
+    /// uses this to scope its observation window to exactly one
+    /// crash-and-recover sequence.
+    pub fn disable_tracing(&mut self) {
+        self.tracer = amnt_trace::Tracer::default();
+        self.metadata_cache.set_tracing(false);
+        self.nvm.set_tracing(false);
     }
 
     /// Whether cycle-domain tracing is on.
@@ -383,17 +404,80 @@ impl SecureMemory {
             .add("recovery.counters_recovered", r.counters_recovered);
         self.tracer
             .add("recovery.nodes_recomputed", r.nodes_recomputed);
-        let ts = self.tracer.last_ts();
-        self.tracer.instant(
-            ts,
-            "recovery",
-            "recovery",
-            &[
-                ("nvm_reads", r.nvm_reads),
-                ("nodes_recomputed", r.nodes_recomputed),
-                ("counters_recovered", r.counters_recovered),
-            ],
-        );
+    }
+
+    /// Opens one frame of the recovery phase tree (no-op when tracing is
+    /// off). Recovery runs on untimed device ops, so the frame starts at a
+    /// synthetic cursor (seeded from the last recorded cycle for the
+    /// outermost frame) and [`Self::trace_phase_close`] advances it by the
+    /// phase's device traffic + hash ops — the Perfetto view then shows
+    /// each phase's width proportional to its work.
+    pub(crate) fn trace_phase_open(&mut self, name: &'static str) {
+        if !self.tracer.enabled() {
+            return;
+        }
+        if self.recovery_phase_base.is_empty() {
+            self.recovery_cursor = self.tracer.last_ts();
+        }
+        let s = self.nvm.stats();
+        self.recovery_phase_base
+            .push((self.recovery_cursor, s.reads, s.writes));
+        self.tracer
+            .push_span(self.recovery_cursor, name, "recovery", &[]);
+    }
+
+    /// Closes the innermost recovery phase frame, attaching the per-phase
+    /// device-read/device-write deltas and the caller-counted hash ops as
+    /// span arguments. `hashes` is the phase's MAC/hash computation count
+    /// (exact where the procedure counts trials, derived otherwise — see
+    /// the call sites in `recovery.rs`).
+    pub(crate) fn trace_phase_close(&mut self, hashes: u64) {
+        if !self.tracer.enabled() {
+            return;
+        }
+        let Some((start, r0, w0)) = self.recovery_phase_base.pop() else {
+            return;
+        };
+        let s = self.nvm.stats();
+        let (dr, dw) = (s.reads - r0, s.writes - w0);
+        // Work-proportional synthetic duration, min 1 so the span is a
+        // visible "X" event even for zero-work phases.
+        let end = (start + 1 + dr + dw + hashes).max(self.recovery_cursor);
+        self.recovery_cursor = end;
+        self.tracer
+            .pop_span_with(end, &[("reads", dr), ("writes", dw), ("hashes", hashes)]);
+    }
+
+    /// Unwinds recovery phase frames still open above `depth` (error paths
+    /// bail out of `recover()` mid-phase; their frames close here so the
+    /// span stack never leaks into post-recovery operations).
+    pub(crate) fn trace_phase_unwind(&mut self, depth: usize) {
+        if !self.tracer.enabled() {
+            return;
+        }
+        while self.recovery_phase_base.len() > depth {
+            self.trace_phase_close(0);
+        }
+    }
+
+    /// Open recovery phase frames right now (pass to
+    /// [`Self::trace_phase_unwind`] to restore on error paths).
+    pub(crate) fn trace_phase_depth(&self) -> usize {
+        self.recovery_phase_base.len()
+    }
+
+    /// Device-stats snapshot (reads, writes) for per-phase hash-op
+    /// derivation in recovery code outside this module.
+    pub(crate) fn trace_nvm_reads(&self) -> u64 {
+        self.nvm.stats().reads
+    }
+
+    /// Records `value` into recovery histogram `name` (no-op when tracing
+    /// is off) — touched-closure sizes and other per-run gauges.
+    pub(crate) fn trace_recovery_stat(&mut self, name: &'static str, value: u64) {
+        if self.tracer.enabled() {
+            self.tracer.record(name, value);
+        }
     }
 
     /// The current AMNT subtree root, if the protocol is AMNT and a hot
@@ -621,6 +705,30 @@ impl SecureMemory {
         }
     }
 
+    /// Closes a metadata-fetch span opened around a miss fill: ends at the
+    /// fill's completion time, or at the last recorded cycle when the fill
+    /// failed verification (the span still closes so the stack stays
+    /// balanced on tamper-detection paths).
+    fn trace_pop_result(&mut self, r: Result<u64, IntegrityError>) -> Result<u64, IntegrityError> {
+        match &r {
+            Ok(t) => self.tracer.pop_span(*t),
+            Err(_) => {
+                let end = self.tracer.last_ts();
+                self.tracer.pop_span_with(end, &[("error", 1)]);
+            }
+        }
+        r
+    }
+
+    /// The demand-miss path of [`Self::fetch_counter`]: device fetch, walk
+    /// up, cache fill.
+    fn fill_counter_miss(&mut self, mut t: u64, index: u64, addr: u64) -> Result<u64, IntegrityError> {
+        t = self.timeline.read(t, addr);
+        self.stats.metadata_fetches += 1;
+        t = self.verify_up(t, ChildRef::Counter(index))?;
+        self.meta_fill(t, addr, false)
+    }
+
     /// Fetches (and if necessary verifies + caches) counter block `index`.
     fn fetch_counter(
         &mut self,
@@ -631,13 +739,21 @@ impl SecureMemory {
         if self.metadata_cache.access(addr, false).hit {
             t += self.config.timing.metadata_cache;
         } else {
-            t = self.timeline.read(t, addr);
-            self.stats.metadata_fetches += 1;
-            t = self.verify_up(t, ChildRef::Counter(index))?;
-            t = self.meta_fill(t, addr, false)?;
+            self.tracer
+                .push_span(t, "meta.fetch.counter", "meta", &[("addr", addr)]);
+            let r = self.fill_counter_miss(t, index, addr);
+            t = self.trace_pop_result(r)?;
         }
         let bytes = self.nvm.read_block_untimed(addr)?;
         Ok((CounterBlock::decode(&bytes), t))
+    }
+
+    /// The demand-miss path of [`Self::ensure_node`].
+    fn fill_node_miss(&mut self, mut t: u64, node: NodeId, addr: u64) -> Result<u64, IntegrityError> {
+        t = self.timeline.read(t, addr);
+        self.stats.metadata_fetches += 1;
+        t = self.verify_up(t, ChildRef::Node(node))?;
+        self.meta_fill(t, addr, false)
     }
 
     /// Ensures tree node `node` is cached (fetch + verify on miss).
@@ -646,12 +762,19 @@ impl SecureMemory {
         if self.metadata_cache.access(addr, false).hit {
             t += self.config.timing.metadata_cache;
         } else {
-            t = self.timeline.read(t, addr);
-            self.stats.metadata_fetches += 1;
-            t = self.verify_up(t, ChildRef::Node(node))?;
-            t = self.meta_fill(t, addr, false)?;
+            self.tracer
+                .push_span(t, "meta.fetch.node", "meta", &[("addr", addr)]);
+            let r = self.fill_node_miss(t, node, addr);
+            t = self.trace_pop_result(r)?;
         }
         Ok(t)
+    }
+
+    /// The demand-miss path of [`Self::fetch_hmac`].
+    fn fill_hmac_miss(&mut self, mut t: u64, line: u64) -> Result<u64, IntegrityError> {
+        t = self.timeline.read(t, line);
+        self.stats.metadata_fetches += 1;
+        self.meta_fill(t, line, false)
     }
 
     /// Fetches the HMAC block covering `data_addr`; returns the stored MAC.
@@ -662,9 +785,10 @@ impl SecureMemory {
         if self.metadata_cache.access(line, false).hit {
             t += self.config.timing.metadata_cache;
         } else {
-            t = self.timeline.read(t, line);
-            self.stats.metadata_fetches += 1;
-            t = self.meta_fill(t, line, false)?;
+            self.tracer
+                .push_span(t, "meta.fetch.hmac", "meta", &[("addr", line)]);
+            let r = self.fill_hmac_miss(t, line);
+            t = self.trace_pop_result(r)?;
         }
         let mut buf = [0u8; 8];
         self.nvm.read_bytes_untimed(hmac_addr, &mut buf)?;
@@ -694,6 +818,9 @@ impl SecureMemory {
             };
             if self.tracer.enabled() {
                 self.tracer.record("verify_queue.drain_batch", n as u64);
+                let ts = self.tracer.last_ts();
+                self.tracer
+                    .instant(ts, "verify.drain", "verify", &[("batch", n as u64)]);
             }
             for (l, mac) in macs.iter().enumerate().take(n) {
                 if *mac != self.verify_queue[l].stored_mac {
@@ -783,9 +910,18 @@ impl SecureMemory {
             self.tracer.add("prefetch.issued", 1);
         }
         self.prefetching = true;
+        self.tracer
+            .push_span(now, "prefetch", "meta", &[("addr", next)]);
         let result = self
             .fetch_counter(now, index)
             .and_then(|(_, t)| self.fetch_hmac(t, next));
+        match &result {
+            Ok((_, t)) => self.tracer.pop_span(*t),
+            Err(_) => {
+                let end = self.tracer.last_ts();
+                self.tracer.pop_span_with(end, &[("error", 1)]);
+            }
+        }
         self.prefetching = false;
         // A prefetch that *fails verification* is a real tamper signal —
         // the media lied about a line we were about to trust — so it
@@ -818,6 +954,25 @@ impl SecureMemory {
         addr: u64,
     ) -> Result<([u8; BLOCK_SIZE], u64), IntegrityError> {
         self.validate_data_addr(addr)?;
+        // Scoped op frame: metadata fetches, verify-queue traffic, and
+        // prefetches recorded below all nest under this read's span.
+        self.tracer.push_span(now, "read", "op", &[("addr", addr)]);
+        let result = self.read_block_impl(now, addr);
+        match &result {
+            Ok((_, t)) => self.tracer.pop_span(*t),
+            Err(_) => {
+                let end = self.tracer.last_ts();
+                self.tracer.pop_span_with(end, &[("error", 1)]);
+            }
+        }
+        result
+    }
+
+    fn read_block_impl(
+        &mut self,
+        now: u64,
+        addr: u64,
+    ) -> Result<([u8; BLOCK_SIZE], u64), IntegrityError> {
         self.take_verify_poison()?;
         self.stats.data_reads += 1;
         self.maybe_prefetch(now, addr)?;
@@ -834,8 +989,6 @@ impl SecureMemory {
         if major == 0 && minor == 0 && stored_mac == 0 && ct.iter().all(|&b| b == 0) {
             self.stats.wait_cycles += t - now;
             if self.tracer.enabled() {
-                self.tracer
-                    .span(now, t - now, "read", "op", &[("addr", addr)]);
                 self.tracer.record("read.wait", t - now);
                 self.trace_tick(t);
             }
@@ -859,8 +1012,10 @@ impl SecureMemory {
                 stored_mac,
             });
             if self.tracer.enabled() {
+                let depth = self.verify_queue.len() as u64;
+                self.tracer.record("verify_queue.depth", depth);
                 self.tracer
-                    .record("verify_queue.depth", self.verify_queue.len() as u64);
+                    .instant(t, "verify.enqueue", "verify", &[("addr", addr), ("depth", depth)]);
             }
             if self.verify_queue.len() >= self.config.verify_queue {
                 self.drain_verify_queue()?;
@@ -870,8 +1025,6 @@ impl SecureMemory {
         let pt = self.engine.decrypt_block(addr, major, minor, &ct);
         self.stats.wait_cycles += t - now;
         if self.tracer.enabled() {
-            self.tracer
-                .span(now, t - now, "read", "op", &[("addr", addr)]);
             self.tracer.record("read.wait", t - now);
             self.trace_tick(t);
         }
@@ -959,6 +1112,27 @@ impl SecureMemory {
         data: &[u8; BLOCK_SIZE],
     ) -> Result<u64, IntegrityError> {
         self.validate_data_addr(addr)?;
+        // Scoped op frame: the entry flush's drain batches, metadata
+        // fetches, re-encryption bursts, and AMNT transitions all nest
+        // under this write's span.
+        self.tracer.push_span(now, "write", "op", &[("addr", addr)]);
+        let result = self.write_block_impl(now, addr, data);
+        match &result {
+            Ok(t) => self.tracer.pop_span(*t),
+            Err(_) => {
+                let end = self.tracer.last_ts();
+                self.tracer.pop_span_with(end, &[("error", 1)]);
+            }
+        }
+        result
+    }
+
+    fn write_block_impl(
+        &mut self,
+        now: u64,
+        addr: u64,
+        data: &[u8; BLOCK_SIZE],
+    ) -> Result<u64, IntegrityError> {
         // Flush-before-commit: every leaf-MAC check deferred by earlier
         // reads must complete before this write mutates persisted state.
         self.flush_verify_queue()?;
@@ -1097,7 +1271,6 @@ impl SecureMemory {
         self.stats.wait_cycles += t.saturating_sub(now);
         if self.tracer.enabled() {
             let dur = t.saturating_sub(now);
-            self.tracer.span(now, dur, "write", "op", &[("addr", addr)]);
             self.tracer.record("write.wait", dur);
             // AMNT only: split the wait by subtree classification.
             if self.stats.subtree_hits > trace_hits_before {

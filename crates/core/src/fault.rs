@@ -506,6 +506,50 @@ pub fn run_sweep(
     kind: ProtocolKind,
     cfg: &FaultSweepConfig,
 ) -> Result<SweepSummary, IntegrityError> {
+    run_sweep_impl(kind, cfg, None)
+}
+
+/// [`run_sweep`] with an observability harvest: alongside the summary it
+/// returns a [`amnt_trace::TraceReport`] aggregating, per scenario class,
+/// the strike-ordinal distributions, the baseline recovery's per-phase
+/// durations (harvested by enabling cycle-domain tracing on the replayed
+/// controller just before its recovery runs), and the touched-closure
+/// sizes the recovery scans reported. Tracing is purely observational: the
+/// summary is byte-identical to [`run_sweep`]'s, and the report is itself a
+/// pure function of (`kind`, `cfg`) — byte-stable across job counts.
+pub fn run_sweep_traced(
+    kind: ProtocolKind,
+    cfg: &FaultSweepConfig,
+) -> Result<(SweepSummary, amnt_trace::TraceReport), IntegrityError> {
+    let mut tr = amnt_trace::Tracer::new(amnt_trace::TraceConfig::default());
+    let summary = run_sweep_impl(kind, cfg, Some(&mut tr))?;
+    let report = tr.report().expect("sweep tracer is enabled");
+    Ok((summary, report))
+}
+
+/// Folds one crashed controller's recovery trace into the sweep tracer:
+/// every closed `recovery.*` phase span becomes a duration sample, and the
+/// scan phases' touched-closure gauges become size samples.
+fn harvest_recovery_trace(tr: &mut amnt_trace::Tracer, mem: &SecureMemory) {
+    let Some(rep) = mem.trace_report() else { return };
+    for ev in &rep.events {
+        if ev.cat == "recovery" && ev.dur > 0 {
+            tr.record(ev.name, ev.dur);
+        }
+    }
+    if let Some(h) = rep.hist("recovery.touched_frames") {
+        tr.record("sweep.touched_frames", h.sum());
+    }
+    if let Some(h) = rep.hist("recovery.touched_counters") {
+        tr.record("sweep.touched_counters", h.sum());
+    }
+}
+
+fn run_sweep_impl(
+    kind: ProtocolKind,
+    cfg: &FaultSweepConfig,
+    mut tr: Option<&mut amnt_trace::Tracer>,
+) -> Result<SweepSummary, IntegrityError> {
     let w = generate(cfg);
 
     // Phase 1: count device-write ordinals, record each op's boundary, and
@@ -548,8 +592,23 @@ pub fn run_sweep(
         let mut recovery_writes = 0u64;
         let mut baseline_media: Option<Vec<(u64, Vec<u8>)>> = None;
         if faulted {
+            if let Some(t) = tr.as_deref_mut() {
+                t.add("sweep.scenarios.clean", 1);
+                t.record("sweep.strike.clean", k);
+                // Observe the baseline recovery's phase tree: tracing is a
+                // pure observer, so the summary is unchanged by this.
+                mem.enable_tracing(amnt_trace::TraceConfig::default());
+            }
             mem.crash();
-            let outcome = match mem.recover() {
+            let first = mem.recover();
+            if let Some(t) = tr.as_deref_mut() {
+                harvest_recovery_trace(t, &mem);
+                // Scope the observation window to this one crash/recover
+                // pair: the repeat pass and the read-back classification
+                // below must run exactly as the untraced sweep runs them.
+                mem.disable_tracing();
+            }
+            let outcome = match first {
                 Err(_) => Outcome::Detected,
                 Ok(report) => {
                     // The recovery-phase ordinal count is captured before
@@ -618,6 +677,7 @@ pub fn run_sweep(
                 baseline_media.as_deref(),
                 evict,
                 &mut s,
+                tr.as_deref_mut(),
             )?;
         }
 
@@ -629,6 +689,10 @@ pub fn run_sweep(
             let (mut mem, completed, faulted) = replay(kind, cfg, &w, Box::new(plan), w.ops.len())?;
             if !faulted {
                 continue;
+            }
+            if let Some(t) = tr.as_deref_mut() {
+                t.add("sweep.scenarios.torn", 1);
+                t.record("sweep.strike.torn", k);
             }
             match crash_and_classify(
                 kind,
@@ -659,6 +723,10 @@ pub fn run_sweep(
         for &depth in &cfg.tail_depths {
             let (mut mem, completed, _) =
                 replay(kind, cfg, &w, Box::new(FaultPlan::drop_tail(depth)), limit)?;
+            if let Some(t) = tr.as_deref_mut() {
+                t.add("sweep.scenarios.tail", 1);
+                t.record("sweep.tail.depth", depth as u64);
+            }
             match crash_and_classify(
                 kind,
                 &mut mem,
@@ -713,6 +781,10 @@ pub fn run_sweep(
                 "queue depth after {depth} reads from base {base} at cap {queue_cap}"
             );
             s.verify_queue_points += 1;
+            if let Some(t) = tr.as_deref_mut() {
+                t.add("sweep.scenarios.verify_queue", 1);
+                t.record("sweep.vq.depth", depth);
+            }
             match crash_and_classify(
                 kind,
                 &mut mem,
@@ -804,6 +876,10 @@ pub fn run_sweep(
             };
             mem.nvm_mut().tamper_flip_bit(tamper_addr, bit);
             s.tamper_points += 1;
+            if let Some(t) = tr.as_deref_mut() {
+                t.add("sweep.scenarios.tamper", 1);
+                t.record("sweep.strike.tamper", k);
+            }
             match mem.recover() {
                 Err(_) => s.tamper_detected += 1,
                 Ok(report) => {
@@ -855,6 +931,7 @@ fn nested_recovery_sweep(
     baseline_media: Option<&[(u64, Vec<u8>)]>,
     evict: bool,
     s: &mut SweepSummary,
+    mut tr: Option<&mut amnt_trace::Tracer>,
 ) -> Result<(), IntegrityError> {
     let modes: &[CrashWriteMode] = if cfg.torn {
         &[
@@ -877,6 +954,10 @@ fn nested_recovery_sweep(
                 continue;
             }
             s.recovery_points += 1;
+            if let Some(t) = tr.as_deref_mut() {
+                t.add("sweep.scenarios.nested", 1);
+                t.record("sweep.strike.nested", r);
+            }
             mem.crash();
             let first = mem.recover();
             match first {
@@ -1008,6 +1089,29 @@ mod tests {
         for i in 0..512 {
             assert!(seen.insert(value_for(i)), "collision at {i}");
         }
+    }
+
+    #[test]
+    fn traced_sweep_matches_untraced_sweep() {
+        // Small but non-trivial: a few ordinals of every scenario class.
+        let cfg = FaultSweepConfig {
+            ops: 6,
+            tail_depths: vec![1],
+            ..FaultSweepConfig::default()
+        };
+        let untraced = run_sweep(ProtocolKind::Leaf, &cfg).expect("sweep");
+        let (traced, report) = run_sweep_traced(ProtocolKind::Leaf, &cfg).expect("sweep");
+        assert_eq!(traced, untraced, "sweep tracing perturbed the summary");
+        // The harvest saw every clean-crash baseline recovery.
+        assert_eq!(report.counter("sweep.scenarios.clean"), Some(traced.crash_points));
+        let phases = report.hist("recovery").expect("root phase durations");
+        assert_eq!(phases.count(), traced.crash_points);
+        assert!(report.hist("recovery.rebuild_subtree").is_some(), "leaf rebuild phase");
+        assert!(report.hist("sweep.strike.clean").is_some());
+        assert!(report.hist("sweep.touched_frames").is_some());
+        // And the report itself is a pure function of (kind, cfg).
+        let (_, again) = run_sweep_traced(ProtocolKind::Leaf, &cfg).expect("sweep");
+        assert_eq!(report, again, "sweep trace report not deterministic");
     }
 
     #[test]

@@ -68,6 +68,22 @@ impl SecureMemory {
                 verified: true,
             });
         }
+        // Phase tree root: every per-protocol procedure below opens child
+        // phases (scan → rebuild counters → verify/rebuild subtree →
+        // audit) under this frame, so a traced recovery exports as one
+        // nested flame. Error paths unwind whatever is still open — the
+        // span stack never leaks into post-recovery operation.
+        let depth = self.trace_phase_depth();
+        self.trace_phase_open("recovery");
+        let result = self.recover_crashed();
+        match &result {
+            Ok(_) => self.trace_phase_close(0),
+            Err(_) => self.trace_phase_unwind(depth),
+        }
+        result
+    }
+
+    fn recover_crashed(&mut self) -> Result<RecoveryReport, RecoveryError> {
         let kind = self.protocol();
         let (nvm, _, _, _, _) = self.parts_for_recovery();
         // A dirty shutdown means the device itself lost or tore writes
@@ -81,6 +97,8 @@ impl SecureMemory {
 
         let verified = match kind {
             crate::ProtocolKind::Volatile => {
+                let r0 = self.trace_nvm_reads();
+                self.trace_phase_open("recovery.audit");
                 let (nvm, bmt, root, _, _) = self.parts_for_recovery();
                 let root = *root;
                 let ok = bmt.verify_touched(nvm, &root)?;
@@ -91,14 +109,24 @@ impl SecureMemory {
                             .to_string(),
                     });
                 }
+                // One MAC per block the verification walk fetched.
+                let hashes = self.trace_nvm_reads() - r0;
+                self.trace_phase_close(hashes);
                 true
             }
             // Everything was written through (PLP's unordered persists are
             // atomic at our crash granularity; real PLP restores ordering at
-            // recovery with a bounded scan).
-            crate::ProtocolKind::Strict | crate::ProtocolKind::Plp => true,
+            // recovery with a bounded scan). Zero-work scan phase so the
+            // trace still shows an explicit (empty) tree.
+            crate::ProtocolKind::Strict | crate::ProtocolKind::Plp => {
+                self.trace_phase_open("recovery.scan");
+                self.trace_phase_close(0);
+                true
+            }
             crate::ProtocolKind::Battery(_) => {
                 // Recoverable iff the battery covered the whole dirty set.
+                let r0 = self.trace_nvm_reads();
+                self.trace_phase_open("recovery.audit");
                 let (nvm, bmt, root, _, _) = self.parts_for_recovery();
                 let root = *root;
                 let ok = bmt.verify_touched(nvm, &root)?;
@@ -109,25 +137,45 @@ impl SecureMemory {
                             .to_string(),
                     });
                 }
+                let hashes = self.trace_nvm_reads() - r0;
+                self.trace_phase_close(hashes);
                 true
             }
             crate::ProtocolKind::Leaf => {
-                let (nvm, bmt, root, _, _) = self.parts_for_recovery();
-                let (computed, recomputed) = bmt.build_touched(nvm)?;
+                self.trace_scan_touched();
+                let root = {
+                    let (_, _, root, _, _) = self.parts_for_recovery();
+                    *root
+                };
+                self.trace_phase_open("recovery.rebuild_subtree");
+                let (computed, recomputed) = {
+                    let (nvm, bmt, _, _, _) = self.parts_for_recovery();
+                    bmt.build_touched(nvm)?
+                };
                 nodes_recomputed = recomputed;
-                if computed != *root {
+                if computed != root {
                     return Err(RecoveryError::RootMismatch);
                 }
+                // Each recomputed node MACs its 8 children.
+                self.trace_phase_close(recomputed.saturating_mul(8));
                 true
             }
             crate::ProtocolKind::Osiris(cfg) => {
                 counters_recovered = self.recover_all_counters(cfg.stop_loss)?;
-                let (nvm, bmt, root, _, _) = self.parts_for_recovery();
-                let (computed, recomputed) = bmt.build_touched(nvm)?;
+                let root = {
+                    let (_, _, root, _, _) = self.parts_for_recovery();
+                    *root
+                };
+                self.trace_phase_open("recovery.rebuild_subtree");
+                let (computed, recomputed) = {
+                    let (nvm, bmt, _, _, _) = self.parts_for_recovery();
+                    bmt.build_touched(nvm)?
+                };
                 nodes_recomputed = recomputed;
-                if computed != *root {
+                if computed != root {
                     return Err(RecoveryError::RootMismatch);
                 }
+                self.trace_phase_close(recomputed.saturating_mul(8));
                 true
             }
             crate::ProtocolKind::Anubis(cfg) => {
@@ -137,10 +185,12 @@ impl SecureMemory {
                 true
             }
             crate::ProtocolKind::Bmf(_) => {
+                self.trace_scan_touched();
                 nodes_recomputed = self.recover_bmf()?;
                 true
             }
             crate::ProtocolKind::Amnt(_) => {
+                self.trace_scan_touched();
                 nodes_recomputed = self.recover_amnt()?;
                 true
             }
@@ -157,11 +207,15 @@ impl SecureMemory {
         // `Bmt::verify_touched`). Clean op-boundary crashes skip this,
         // keeping Strict/PLP recovery at zero work.
         if dirty_shutdown {
+            let r0 = self.trace_nvm_reads();
+            self.trace_phase_open("recovery.audit");
             let (nvm, bmt, root, _, _) = self.parts_for_recovery();
             let root = *root;
             if !bmt.verify_touched(nvm, &root)? {
                 return Err(RecoveryError::RootMismatch);
             }
+            let hashes = self.trace_nvm_reads() - r0;
+            self.trace_phase_close(hashes);
         }
 
         let (nvm, _, _, _, _) = self.parts_for_recovery();
@@ -179,6 +233,24 @@ impl SecureMemory {
         Ok(report)
     }
 
+    /// Trace-only touched-frame scan phase: counts the touched data frames
+    /// (the recovery closure's seed set) into the
+    /// `recovery.touched_frames` histogram. Host-side bitmap queries only —
+    /// no device stats move, and nothing runs when tracing is off.
+    fn trace_scan_touched(&mut self) {
+        if !self.tracing_enabled() {
+            return;
+        }
+        let cap = self.geometry().data_capacity();
+        let touched = {
+            let (nvm, _, _, _, _) = self.parts_for_recovery();
+            nvm.touched_frames_in(0, cap).into_iter().count() as u64
+        };
+        self.trace_phase_open("recovery.scan");
+        self.trace_phase_close(0);
+        self.trace_recovery_stat("recovery.touched_frames", touched);
+    }
+
     /// Osiris-style bounded re-derivation of every *touched* counter block:
     /// each minor is advanced until the persisted data HMAC matches, up to
     /// the stop-loss bound. The candidate set is the union of counters whose
@@ -189,6 +261,7 @@ impl SecureMemory {
     /// factory state and need no trial.
     fn recover_all_counters(&mut self, stop_loss: u32) -> Result<u64, RecoveryError> {
         let g = self.geometry().clone();
+        self.trace_phase_open("recovery.scan");
         let candidates = {
             let (nvm, bmt, _, _, _) = self.parts_for_recovery();
             let mut set: BTreeSet<u64> = bmt.touched_counters(nvm).into_iter().collect();
@@ -210,17 +283,25 @@ impl SecureMemory {
             }
             set
         };
+        self.trace_phase_close(0);
+        self.trace_recovery_stat("recovery.touched_counters", candidates.len() as u64);
+        self.trace_phase_open("recovery.rebuild_counters");
         let mut recovered = 0;
+        let mut trials = 0;
         for index in candidates {
-            if self.recover_counter(index, stop_loss)? {
+            let (changed, t) = self.recover_counter(index, stop_loss)?;
+            trials += t;
+            if changed {
                 recovered += 1;
             }
         }
+        self.trace_phase_close(trials);
         Ok(recovered)
     }
 
-    /// Recovers one counter block; returns whether it changed.
-    fn recover_counter(&mut self, index: u64, stop_loss: u32) -> Result<bool, RecoveryError> {
+    /// Recovers one counter block; returns whether it changed and how many
+    /// MAC trials (hash ops) the stop-loss search performed.
+    fn recover_counter(&mut self, index: u64, stop_loss: u32) -> Result<(bool, u64), RecoveryError> {
         let (nvm, bmt, _, _, _) = self.parts_for_recovery();
         let g = bmt.geometry().clone();
         let hasher = bmt.hasher().clone();
@@ -230,9 +311,10 @@ impl SecureMemory {
         let mut hmacs = vec![0u8; (PAGE_SIZE / 64 * 8) as usize];
         nvm.read_bytes_untimed(g.hmac_addr(page_base), &mut hmacs)?;
         if counter.is_zero() && hmacs.iter().all(|&b| b == 0) {
-            return Ok(false);
+            return Ok((false, 0));
         }
         let mut changed = false;
+        let mut trials = 0u64;
         for slot in 0..amnt_bmt::MINORS_PER_BLOCK {
             let addr = page_base + (slot as u64) * 64;
             if addr >= g.data_capacity() {
@@ -250,6 +332,7 @@ impl SecureMemory {
                 if minor > amnt_bmt::MINOR_MAX as u32 {
                     break; // an overflow would have persisted the block
                 }
+                trials += 1;
                 if hasher.data_mac(&ct, addr, counter.major(), minor as u8) == stored_mac {
                     if k > 0 {
                         for _ in 0..k {
@@ -269,7 +352,7 @@ impl SecureMemory {
             let (nvm, bmt, _, _, _) = self.parts_for_recovery();
             bmt.write_counter(nvm, index, &counter).map_err(RecoveryError::Device)?;
         }
-        Ok(changed)
+        Ok((changed, trials))
     }
 
     /// Anubis: read the shadow table, re-derive the listed counters, and
@@ -279,6 +362,7 @@ impl SecureMemory {
         let g = self.geometry().clone();
         let mut stale_counters = Vec::new();
         let mut to_recompute: BTreeSet<(std::cmp::Reverse<u32>, u64)> = BTreeSet::new();
+        self.trace_phase_open("recovery.scan");
         {
             let (nvm, _, _, _, aux_base) = self.parts_for_recovery();
             for slot in 0..lines as u64 {
@@ -304,26 +388,38 @@ impl SecureMemory {
                 }
             }
         }
+        self.trace_phase_close(0);
+        self.trace_recovery_stat("recovery.touched_counters", stale_counters.len() as u64);
         let mut recovered = 0;
+        let mut trials = 0u64;
+        self.trace_phase_open("recovery.rebuild_counters");
         for idx in stale_counters {
-            if self.recover_counter(idx, stop_loss)? {
+            let (changed, t) = self.recover_counter(idx, stop_loss)?;
+            trials += t;
+            if changed {
                 recovered += 1;
             }
         }
+        self.trace_phase_close(trials);
         // Recompute deepest-first so children are fresh before parents.
         let recomputed = to_recompute.len() as u64;
-        let (nvm, bmt, root, _, _) = self.parts_for_recovery();
-        for (std::cmp::Reverse(level), index) in to_recompute {
-            let node = NodeId { level, index };
-            let image = bmt.compute_node(nvm, node).map_err(RecoveryError::Device)?;
-            nvm.write_block(g.node_addr(node), &image).map_err(RecoveryError::Device)?;
+        self.trace_phase_open("recovery.rebuild_subtree");
+        {
+            let (nvm, bmt, root, _, _) = self.parts_for_recovery();
+            for (std::cmp::Reverse(level), index) in to_recompute {
+                let node = NodeId { level, index };
+                let image = bmt.compute_node(nvm, node).map_err(RecoveryError::Device)?;
+                nvm.write_block(g.node_addr(node), &image).map_err(RecoveryError::Device)?;
+            }
+            let computed_root = bmt
+                .compute_node(nvm, NodeId { level: 1, index: 0 })
+                .map_err(RecoveryError::Device)?;
+            if computed_root != *root {
+                return Err(RecoveryError::RootMismatch);
+            }
         }
-        let computed_root = bmt
-            .compute_node(nvm, NodeId { level: 1, index: 0 })
-            .map_err(RecoveryError::Device)?;
-        if computed_root != *root {
-            return Err(RecoveryError::RootMismatch);
-        }
+        // Each recomputed node (and the root check) hashes its 8 children.
+        self.trace_phase_close(recomputed.saturating_add(1).saturating_mul(8));
         Ok((recovered, recomputed))
     }
 
@@ -331,40 +427,48 @@ impl SecureMemory {
     /// everything above the frontier.
     fn recover_bmf(&mut self) -> Result<u64, RecoveryError> {
         let g = self.geometry().clone();
-        let (nvm, bmt, root_register, protocol, _) = self.parts_for_recovery();
-        let frontier: Vec<(NodeId, amnt_bmt::NodeBytes)> = match protocol {
-            ProtocolState::Bmf(s) => {
-                s.roots.iter().map(|(id, e)| (*id, e.image)).collect()
-            }
-            _ => return Ok(0),
-        };
-        let mut ancestors: BTreeSet<(std::cmp::Reverse<u32>, u64)> = BTreeSet::new();
-        for (node, image) in &frontier {
-            if node.level < 2 {
-                continue; // a level-1 frontier entry is the root register itself
-            }
-            nvm.write_block(g.node_addr(*node), image).map_err(RecoveryError::Device)?;
-            let mut cur = g.parent(*node);
-            while let Some(n) = cur {
-                if n.level < 2 {
-                    break;
+        let frontier: Vec<(NodeId, amnt_bmt::NodeBytes)> = {
+            let (_, _, _, protocol, _) = self.parts_for_recovery();
+            match protocol {
+                ProtocolState::Bmf(s) => {
+                    s.roots.iter().map(|(id, e)| (*id, e.image)).collect()
                 }
-                ancestors.insert((std::cmp::Reverse(n.level), n.index));
-                cur = g.parent(n);
+                _ => return Ok(0),
+            }
+        };
+        self.trace_phase_open("recovery.rebuild_subtree");
+        let recomputed;
+        {
+            let (nvm, bmt, root_register, _, _) = self.parts_for_recovery();
+            let mut ancestors: BTreeSet<(std::cmp::Reverse<u32>, u64)> = BTreeSet::new();
+            for (node, image) in &frontier {
+                if node.level < 2 {
+                    continue; // a level-1 frontier entry is the root register itself
+                }
+                nvm.write_block(g.node_addr(*node), image).map_err(RecoveryError::Device)?;
+                let mut cur = g.parent(*node);
+                while let Some(n) = cur {
+                    if n.level < 2 {
+                        break;
+                    }
+                    ancestors.insert((std::cmp::Reverse(n.level), n.index));
+                    cur = g.parent(n);
+                }
+            }
+            recomputed = ancestors.len() as u64;
+            for (std::cmp::Reverse(level), index) in ancestors {
+                let node = NodeId { level, index };
+                let image = bmt.compute_node(nvm, node).map_err(RecoveryError::Device)?;
+                nvm.write_block(g.node_addr(node), &image).map_err(RecoveryError::Device)?;
+            }
+            let computed_root = bmt
+                .compute_node(nvm, NodeId { level: 1, index: 0 })
+                .map_err(RecoveryError::Device)?;
+            if computed_root != *root_register {
+                return Err(RecoveryError::RootMismatch);
             }
         }
-        let recomputed = ancestors.len() as u64;
-        for (std::cmp::Reverse(level), index) in ancestors {
-            let node = NodeId { level, index };
-            let image = bmt.compute_node(nvm, node).map_err(RecoveryError::Device)?;
-            nvm.write_block(g.node_addr(node), &image).map_err(RecoveryError::Device)?;
-        }
-        let computed_root = bmt
-            .compute_node(nvm, NodeId { level: 1, index: 0 })
-            .map_err(RecoveryError::Device)?;
-        if computed_root != *root_register {
-            return Err(RecoveryError::RootMismatch);
-        }
+        self.trace_phase_close(recomputed.saturating_add(1).saturating_mul(8));
         Ok(recomputed)
     }
 
@@ -373,39 +477,51 @@ impl SecureMemory {
     /// tree so the stored state is consistent with the root register again.
     fn recover_amnt(&mut self) -> Result<u64, RecoveryError> {
         let g = self.geometry().clone();
-        let (nvm, bmt, root_register, protocol, _) = self.parts_for_recovery();
-        let (id, reg_image) = match protocol {
-            ProtocolState::Amnt(s) => match s.register {
-                Some(pair) => pair,
-                None => return Ok(0), // never left strict persistence
-            },
-            _ => return Ok(0),
-        };
-        let (computed, rebuilt) =
-            bmt.rebuild_subtree_touched(nvm, id).map_err(RecoveryError::Device)?;
-        if computed != reg_image {
-            return Err(RecoveryError::RootMismatch);
-        }
-        // Fold the (verified) subtree root back into its strict ancestors.
-        let hasher = bmt.hasher().clone();
-        let mut child_mac = hasher.node_mac(&reg_image, id);
-        let mut child_slot = g.child_slot(id);
-        let mut cur = g.parent(id);
-        let mut folded = 0;
-        while let Some(node) = cur {
-            if node.level < 2 {
-                break;
+        let (id, reg_image) = {
+            let (_, _, _, protocol, _) = self.parts_for_recovery();
+            match protocol {
+                ProtocolState::Amnt(s) => match s.register {
+                    Some(pair) => pair,
+                    None => return Ok(0), // never left strict persistence
+                },
+                _ => return Ok(0),
             }
-            let addr = g.node_addr(node);
-            let mut image = nvm.read_block(addr).map_err(RecoveryError::Device)?;
-            set_slot(&mut image, child_slot, child_mac);
-            nvm.write_block(addr, &image).map_err(RecoveryError::Device)?;
-            child_mac = hasher.node_mac(&image, node);
-            child_slot = g.child_slot(node);
-            cur = g.parent(node);
-            folded += 1;
+        };
+        self.trace_phase_open("recovery.rebuild_subtree");
+        let rebuilt;
+        let folded;
+        {
+            let (nvm, bmt, root_register, _, _) = self.parts_for_recovery();
+            let (computed, r) =
+                bmt.rebuild_subtree_touched(nvm, id).map_err(RecoveryError::Device)?;
+            rebuilt = r;
+            if computed != reg_image {
+                return Err(RecoveryError::RootMismatch);
+            }
+            // Fold the (verified) subtree root back into its strict ancestors.
+            let hasher = bmt.hasher().clone();
+            let mut child_mac = hasher.node_mac(&reg_image, id);
+            let mut child_slot = g.child_slot(id);
+            let mut cur = g.parent(id);
+            let mut f = 0u64;
+            while let Some(node) = cur {
+                if node.level < 2 {
+                    break;
+                }
+                let addr = g.node_addr(node);
+                let mut image = nvm.read_block(addr).map_err(RecoveryError::Device)?;
+                set_slot(&mut image, child_slot, child_mac);
+                nvm.write_block(addr, &image).map_err(RecoveryError::Device)?;
+                child_mac = hasher.node_mac(&image, node);
+                child_slot = g.child_slot(node);
+                cur = g.parent(node);
+                f += 1;
+            }
+            set_slot(root_register, child_slot, child_mac);
+            folded = f;
         }
-        set_slot(root_register, child_slot, child_mac);
+        // Each rebuilt node hashes its 8 children; each fold re-MACs one node.
+        self.trace_phase_close(rebuilt.saturating_mul(8).saturating_add(folded).saturating_add(1));
         Ok(rebuilt + folded)
     }
 }

@@ -56,7 +56,7 @@ fn clean_power_cut_leaves_a_power_off_instant() {
     assert_eq!(arg(&faults[0], "ordinal"), Some(ordinal));
     assert_eq!(arg(&faults[0], "kind"), Some(0));
     assert!(arg(&faults[0], "op_index").is_some());
-    assert_eq!(report.counter("crashes"), 1);
+    assert_eq!(report.counter("crashes"), Some(1));
 }
 
 #[test]
@@ -72,9 +72,9 @@ fn recovery_breakdown_lands_in_counters() {
     m.recover().expect("boundary crash recovers");
 
     let report = m.trace_report().expect("traced");
-    assert_eq!(report.counter("crashes"), 1);
-    assert_eq!(report.counter("recovery.runs"), 1);
-    assert!(report.counter("recovery.nvm_reads") > 0);
+    assert_eq!(report.counter("crashes"), Some(1));
+    assert_eq!(report.counter("recovery.runs"), Some(1));
+    assert!(report.counter("recovery.nvm_reads").unwrap_or(0) > 0);
     assert!(report.events.iter().any(|e| e.cat == "recovery" && e.name == "recovery"));
 }
 
@@ -112,7 +112,7 @@ fn dropped_wpq_tail_strikes_at_crash_time() {
     assert!(!faults.is_empty(), "no wpq_drop instant recorded");
     assert!(faults.iter().all(|e| e.name == "wpq_drop"));
     assert!(faults.iter().all(|e| arg(e, "kind") == Some(3)));
-    assert!(report.counter("nvm.wpq_dropped") > 0);
+    assert!(report.counter("nvm.wpq_dropped").unwrap_or(0) > 0);
 }
 
 #[test]
@@ -124,5 +124,5 @@ fn unfaulted_runs_have_no_fault_events() {
     }
     let (faults, report) = fault_events(&m);
     assert!(faults.is_empty(), "{faults:?}");
-    assert_eq!(report.counter("crashes"), 0);
+    assert_eq!(report.counter("crashes"), None, "no crash => counter never registered");
 }

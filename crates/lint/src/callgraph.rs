@@ -13,6 +13,13 @@
 //!   corpus is recorded as an **unresolved self-call** — the conservative
 //!   fallback the rules document (R3 treats it as a possible fence, R9 as a
 //!   possible bracket close, R1v2 has nothing to scan).
+//! * `local.f(..)` — when the caller's `let`-binding table
+//!   ([`FnItem::locals`]) pins the receiver's type (`let c = Controller::
+//!   new(..)` then `c.f(..)`), only candidates on exactly that type
+//!   survive — and a pinned type with *no* corpus candidate is unresolved
+//!   outright, even for a globally unique name (the binding says the call
+//!   goes to std/alloc, not to the lookalike). Unpinned locals fall back
+//!   to the field policy below.
 //! * `field.f(..)` — a globally unique name resolves outright; otherwise
 //!   candidates whose `impl` type matches the receiver ident
 //!   (case-insensitive containment: `timeline` ↔ `MemoryTimeline`) are
@@ -161,6 +168,24 @@ enum Resolution {
     External,
 }
 
+/// The shared `field.f(..)` policy: unique name wins, else impl-type
+/// containment against the receiver ident.
+fn resolve_field(fns: &[FnItem], recv: &str, cands: &[usize]) -> Resolution {
+    if cands.len() == 1 {
+        return Resolution::To(cands.to_vec());
+    }
+    let matches: Vec<usize> = cands
+        .iter()
+        .copied()
+        .filter(|&c| type_matches(fns[c].impl_type.as_deref(), recv))
+        .collect();
+    if matches.is_empty() {
+        Resolution::External
+    } else {
+        Resolution::To(matches)
+    }
+}
+
 /// Case-insensitive containment between a receiver ident and an `impl`
 /// type name: `timeline` ↔ `MemoryTimeline`, `nvm` ↔ `Nvm`.
 fn type_matches(impl_type: Option<&str>, recv: &str) -> bool {
@@ -188,16 +213,17 @@ fn resolve(fns: &[FnItem], caller: usize, call: &CallSite, cands: &[usize]) -> R
             }
             Resolution::To(cands.to_vec())
         }
-        Receiver::Field(recv) => {
-            if cands.len() == 1 {
-                return Resolution::To(cands.to_vec());
+        Receiver::Field(recv) => resolve_field(fns, recv, cands),
+        Receiver::Local(recv) => {
+            if let Some(ty) = fns[caller].locals.get(recv) {
+                let on_type: Vec<usize> = cands
+                    .iter()
+                    .copied()
+                    .filter(|&c| fns[c].impl_type.as_deref() == Some(ty.as_str()))
+                    .collect();
+                return pick(on_type).unwrap_or(Resolution::External);
             }
-            let matches: Vec<usize> = cands
-                .iter()
-                .copied()
-                .filter(|&c| type_matches(fns[c].impl_type.as_deref(), recv))
-                .collect();
-            pick(matches).unwrap_or(Resolution::External)
+            resolve_field(fns, recv, cands)
         }
         Receiver::Path(seg) => {
             let seg = if seg == "Self" {
@@ -308,6 +334,53 @@ mod tests {
         assert_eq!(g.unresolved[go].len(), 1);
         assert_eq!(g.unresolved[go][0].name, "push");
         assert!(!g.unresolved[go][0].self_call);
+    }
+
+    #[test]
+    fn local_binding_type_resolves_ambiguous_method_names() {
+        // Two `write` methods; the receiver ident "w" gives containment
+        // nothing to work with, but the `let` binding pins the type.
+        let g = graph(&[(
+            "crates/a/src/lib.rs",
+            "struct MemoryTimeline;\nimpl MemoryTimeline { fn write(&mut self) {} }\n\
+             struct Nvm;\nimpl Nvm { fn new() -> Nvm { Nvm } fn write(&mut self) {} }\n\
+             fn go() { let w = Nvm::new(); w.write(); }\n",
+        )]);
+        let go = idx(&g, "crates/a/src/lib.rs::go");
+        let writes: Vec<&Edge> =
+            g.edges[go].iter().filter(|e| g.fns[e.callee].name == "write").collect();
+        assert_eq!(writes.len(), 1);
+        assert_eq!(g.fns[writes[0].callee].display_id(), "crates/a/src/lib.rs::Nvm::write");
+        assert_eq!(writes[0].kind, EdgeKind::Resolved);
+    }
+
+    #[test]
+    fn pinned_std_local_beats_the_unique_name_shortcut() {
+        // `v` is pinned to Vec, which has no corpus impl: the call must
+        // NOT resolve to the lone same-name corpus method.
+        let g = graph(&[(
+            "crates/a/src/lib.rs",
+            "struct Wpq;\nimpl Wpq { fn push(&mut self) {} }\n\
+             fn go() { let mut v: Vec<u8> = make(); v.push(1); }\n",
+        )]);
+        let go = idx(&g, "crates/a/src/lib.rs::go");
+        assert!(g.edges[go].iter().all(|e| g.fns[e.callee].name != "push"));
+        assert!(g.unresolved[go].iter().any(|u| u.name == "push"));
+    }
+
+    #[test]
+    fn unpinned_local_falls_back_to_the_field_policy() {
+        // A fn parameter never enters the binding table; a globally
+        // unique name still resolves, as before.
+        let g = graph(&[(
+            "crates/a/src/lib.rs",
+            "struct Wpq;\nimpl Wpq { fn drain_all(&mut self) {} }\n\
+             fn go(q: &mut Wpq) { q.drain_all(); }\n",
+        )]);
+        let go = idx(&g, "crates/a/src/lib.rs::go");
+        assert_eq!(g.edges[go].len(), 1);
+        assert_eq!(g.fns[g.edges[go][0].callee].name, "drain_all");
+        assert_eq!(g.edges[go][0].kind, EdgeKind::Resolved);
     }
 
     #[test]

@@ -13,13 +13,20 @@
 //!   `Severity`, `impl SecureMemory` hints `SecureMemory`);
 //! * whether the function takes a `self` receiver;
 //! * every call site in the body, classified by receiver shape
-//!   ([`Receiver`]): `self.f(..)`, `field.f(..)`, `Type::f(..)`,
-//!   `expr.f(..)`, or bare `f(..)`.
+//!   ([`Receiver`]): `self.f(..)`, `self.field.f(..)`, `local.f(..)`,
+//!   `Type::f(..)`, `expr.f(..)`, or bare `f(..)`;
+//! * the body's `let`-binding types ([`FnItem::locals`]): `let c:
+//!   Controller = ..` and `let c = Controller::new(..)` both pin `c` to
+//!   `Controller`, so a later `c.step(..)` resolves on that type alone
+//!   instead of falling back to the name-containment heuristic. A name
+//!   re-bound at *different* types is dropped from the table (shadowing
+//!   makes any single answer wrong somewhere in the body).
 //!
 //! Functions inside `#[cfg(test)]` regions are marked [`FnItem::in_test`]
 //! and excluded from the call graph by [`crate::callgraph::CallGraph`].
 
 use crate::lexer::{cfg_test_ranges, is_ident_byte, line_of, line_starts, mask, token_offsets};
+use std::collections::BTreeMap;
 
 /// How a call site names its receiver. Resolution treats each shape
 /// differently (see `crate::callgraph` for the full policy).
@@ -27,9 +34,12 @@ use crate::lexer::{cfg_test_ranges, is_ident_byte, line_of, line_starts, mask, t
 pub enum Receiver {
     /// `self.f(..)` — a method call on the current object.
     SelfDot,
-    /// `ident.f(..)` — a method call on a named local/field (the field
+    /// `a.ident.f(..)` — a method call on a projected field (the field
     /// name is the receiver type hint).
     Field(String),
+    /// `ident.f(..)` with nothing before `ident` — a method call on a
+    /// body-level binding; [`FnItem::locals`] may pin its exact type.
+    Local(String),
     /// `Type::f(..)` or `module::f(..)` — a path call; the last path
     /// segment before the function name is kept.
     Path(String),
@@ -76,6 +86,11 @@ pub struct FnItem {
     /// Call sites in the body, in textual order. Calls inside *nested*
     /// `fn` items are attributed to the nested item, not this one.
     pub calls: Vec<CallSite>,
+    /// `let`-binding name → simple type name, from annotations
+    /// (`let c: Controller`) and path-constructor initialisers
+    /// (`let c = Controller::new(..)`, `let c = Controller { .. }`).
+    /// Names re-bound at conflicting types are absent.
+    pub locals: BTreeMap<String, String>,
     /// The masked body text (`{` to `}` inclusive), for feature scans.
     pub body: String,
 }
@@ -130,6 +145,7 @@ pub fn parse_masked(path: &str, masked: &str) -> Vec<FnItem> {
             .map(|o| (o.start, o.end))
             .collect();
         let calls = call_sites(masked, span.body_start, span.end, &nested);
+        let locals = local_bindings(masked, span.body_start, span.end, &nested);
         items.push(FnItem {
             path: path.to_string(),
             name: span.name.clone(),
@@ -141,6 +157,7 @@ pub fn parse_masked(path: &str, masked: &str) -> Vec<FnItem> {
             has_receiver: span.has_receiver,
             in_test,
             calls,
+            locals,
             body: masked[span.body_start..span.end].to_string(),
         });
     }
@@ -461,6 +478,133 @@ fn call_sites(
     out
 }
 
+/// Extracts the `let`-binding type table of `masked[body_start..end]`,
+/// skipping `nested` fn sub-spans. A binding contributes a type when the
+/// pattern is a plain ident and either an annotation (`let x: T = ..`) or
+/// a path-constructor initialiser (`let x = T::new(..)`, `let x = T {`)
+/// names one; a name re-bound at a different type is dropped (shadowing).
+fn local_bindings(
+    masked: &str,
+    body_start: usize,
+    end: usize,
+    nested: &[(usize, usize)],
+) -> BTreeMap<String, String> {
+    let bytes = masked.as_bytes();
+    let end = end.min(bytes.len());
+    // `None` marks a poisoned (conflictingly re-bound) name.
+    let mut out: BTreeMap<String, Option<String>> = BTreeMap::new();
+    let mut i = body_start;
+    while i + 3 <= end {
+        if let Some(&(_, nend)) = nested.iter().find(|&&(ns, ne)| i >= ns && i < ne) {
+            i = nend;
+            continue;
+        }
+        if &bytes[i..i + 3] != b"let"
+            || (i > 0 && is_ident_byte(bytes[i - 1]))
+            || (i + 3 < end && is_ident_byte(bytes[i + 3]))
+        {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 3;
+        let skip_ws = |j: &mut usize| {
+            while *j < end && bytes[*j].is_ascii_whitespace() {
+                *j += 1;
+            }
+        };
+        skip_ws(&mut j);
+        if masked[j..end].starts_with("mut") && !is_ident_byte(*bytes.get(j + 3).unwrap_or(&b' '))
+        {
+            j += 3;
+            skip_ws(&mut j);
+        }
+        let name_start = j;
+        while j < end && is_ident_byte(bytes[j]) {
+            j += 1;
+        }
+        let name = &masked[name_start..j];
+        // Plain lowercase idents only: `let Some(x)`, `let (a, b)` and
+        // friends are patterns, not nameable bindings.
+        if name.is_empty() || !name.starts_with(|c: char| c.is_ascii_lowercase() || c == '_') {
+            i = j.max(i + 3);
+            continue;
+        }
+        skip_ws(&mut j);
+        let ty = match bytes.get(j) {
+            // Annotation: everything up to the initialising `=` (or `;`).
+            Some(b':') if bytes.get(j + 1) != Some(&b':') => {
+                let ty_start = j + 1;
+                let mut depth = 0i64;
+                let mut k = ty_start;
+                while k < end {
+                    match bytes[k] {
+                        b'<' | b'(' | b'[' => depth += 1,
+                        b'>' if bytes.get(k.wrapping_sub(1)) != Some(&b'-') => depth -= 1,
+                        b')' | b']' => depth -= 1,
+                        b'=' | b';' if depth <= 0 => break,
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                type_simple_name(&masked[ty_start..k])
+            }
+            // Initialiser: a path constructor or struct literal names the
+            // type; anything else (call result, borrow, literal) doesn't.
+            Some(b'=') if bytes.get(j + 1) != Some(&b'=') => {
+                let mut k = j + 1;
+                while k < end && bytes[k].is_ascii_whitespace() {
+                    k += 1;
+                }
+                let mut segs: Vec<&str> = Vec::new();
+                loop {
+                    let s = k;
+                    while k < end && is_ident_byte(bytes[k]) {
+                        k += 1;
+                    }
+                    if k == s {
+                        break;
+                    }
+                    segs.push(&masked[s..k]);
+                    if masked[k..end].starts_with("::") {
+                        k += 2;
+                    } else {
+                        break;
+                    }
+                }
+                let upper = |s: &str| s.starts_with(|c: char| c.is_ascii_uppercase());
+                while k < end && bytes[k].is_ascii_whitespace() {
+                    k += 1;
+                }
+                match bytes.get(k) {
+                    // `T::new(..)` / `path::T::default()` — the last
+                    // uppercase segment before the constructor fn.
+                    Some(b'(') if segs.len() >= 2 => segs[..segs.len() - 1]
+                        .iter()
+                        .rfind(|s| upper(s))
+                        .map(|s| s.to_string()),
+                    // `T { .. }` / `path::T { .. }` struct literal.
+                    Some(b'{') => {
+                        segs.last().filter(|s| upper(s)).map(|s| s.to_string())
+                    }
+                    _ => None,
+                }
+            }
+            _ => None,
+        };
+        if let Some(ty) = ty {
+            out.entry(name.to_string())
+                .and_modify(|prev| {
+                    if prev.as_deref() != Some(ty.as_str()) {
+                        *prev = None;
+                    }
+                })
+                .or_insert(Some(ty));
+        }
+        i = j.max(i + 3);
+    }
+    out.into_iter().filter_map(|(k, v)| v.map(|ty| (k, ty))).collect()
+}
+
 /// Classifies the receiver of a call whose name starts at `name_at`.
 fn receiver_of(masked: &str, body_start: usize, name_at: usize) -> Receiver {
     let bytes = masked.as_bytes();
@@ -483,10 +627,13 @@ fn receiver_of(masked: &str, body_start: usize, name_at: usize) -> Receiver {
                 return Receiver::Expr;
             }
             let recv = &masked[j..recv_end];
-            if recv == "self" && !(j > body_start && bytes[j - 1] == b'.') {
+            let projected = j > body_start && bytes[j - 1] == b'.';
+            if recv == "self" && !projected {
                 Receiver::SelfDot
-            } else {
+            } else if projected {
                 Receiver::Field(recv.to_string())
+            } else {
+                Receiver::Local(recv.to_string())
             }
         }
         b':' if name_at >= 2 && bytes[name_at - 2] == b':' => {
@@ -595,6 +742,75 @@ mod tests {
         assert!(!items[0].has_receiver);
         assert_eq!(items[0].calls.len(), 1);
         assert_eq!(items[0].calls[0].name, "into");
+    }
+
+    #[test]
+    fn local_receivers_are_distinguished_from_projected_fields() {
+        let src = "impl S {\n\
+                   \x20   fn go(&mut self) {\n\
+                   \x20       let c = Controller::new(1);\n\
+                   \x20       c.step();\n\
+                   \x20       self.nvm.flush();\n\
+                   \x20   }\n\
+                   }\n";
+        let items = parse_file("a.rs", src);
+        let calls: Vec<(String, Receiver)> =
+            items[0].calls.iter().map(|c| (c.name.clone(), c.recv.clone())).collect();
+        assert_eq!(
+            calls,
+            vec![
+                ("new".into(), Receiver::Path("Controller".into())),
+                ("step".into(), Receiver::Local("c".into())),
+                ("flush".into(), Receiver::Field("nvm".into())),
+            ]
+        );
+    }
+
+    #[test]
+    fn let_bindings_pin_types_from_annotations_and_constructors() {
+        let src = "fn go() {\n\
+                   \x20   let a: amnt_core::Controller = make();\n\
+                   \x20   let mut b = Tracer::new(cfg);\n\
+                   \x20   let c = Config { depth: 3 };\n\
+                   \x20   let d = helper();\n\
+                   \x20   let (e, f) = pair();\n\
+                   \x20   let g: Vec<Frame> = Vec::new();\n\
+                   }\n";
+        let items = parse_file("a.rs", src);
+        let l = &items[0].locals;
+        assert_eq!(l.get("a").map(String::as_str), Some("Controller"));
+        assert_eq!(l.get("b").map(String::as_str), Some("Tracer"));
+        assert_eq!(l.get("c").map(String::as_str), Some("Config"));
+        assert_eq!(l.get("d"), None, "plain call initialiser pins nothing");
+        assert_eq!(l.get("e"), None, "tuple patterns are skipped");
+        assert_eq!(l.get("g").map(String::as_str), Some("Vec"));
+    }
+
+    #[test]
+    fn conflicting_rebinds_poison_the_local_type() {
+        let src = "fn go() {\n\
+                   \x20   let x = Nvm::new();\n\
+                   \x20   let x = Cache::new();\n\
+                   \x20   let y = Nvm::new();\n\
+                   \x20   let y = Nvm::with_capacity(4);\n\
+                   }\n";
+        let items = parse_file("a.rs", src);
+        assert_eq!(items[0].locals.get("x"), None, "re-bound at a different type");
+        assert_eq!(items[0].locals.get("y").map(String::as_str), Some("Nvm"));
+    }
+
+    #[test]
+    fn nested_fn_bindings_stay_out_of_the_outer_table() {
+        let src = "fn outer() {\n\
+                   \x20   fn inner() { let z = Nvm::new(); }\n\
+                   \x20   let w = Cache::new();\n\
+                   }\n";
+        let items = parse_file("a.rs", src);
+        let outer = items.iter().find(|f| f.name == "outer").unwrap();
+        let inner = items.iter().find(|f| f.name == "inner").unwrap();
+        assert_eq!(outer.locals.get("z"), None);
+        assert_eq!(outer.locals.get("w").map(String::as_str), Some("Cache"));
+        assert_eq!(inner.locals.get("z").map(String::as_str), Some("Nvm"));
     }
 
     #[test]

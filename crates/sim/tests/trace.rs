@@ -118,7 +118,7 @@ fn epoch_deltas_sum_to_final_snapshot() {
         for (field, want) in expected {
             assert_eq!(
                 trace.epoch_sum(field),
-                want,
+                Some(want),
                 "{name}: Σ epochs[{field}] != final snapshot"
             );
         }

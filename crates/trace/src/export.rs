@@ -63,8 +63,14 @@ pub fn chrome_document(cells: &[(String, &TraceReport)]) -> String {
         );
         for ev in &report.events {
             let mut args = String::new();
-            for (i, (k, v)) in ev.used_args().enumerate() {
-                if i > 0 {
+            // Explicit nesting: Perfetto infers "X"-event nesting from
+            // ts/dur containment on a track, but the span ids make the
+            // tree queryable (and unambiguous for zero-duration children).
+            if ev.id != 0 {
+                let _ = write!(args, "\"span_id\":{},\"parent_id\":{}", ev.id, ev.parent);
+            }
+            for (k, v) in ev.used_args() {
+                if !args.is_empty() {
                     args.push(',');
                 }
                 let _ = write!(args, "{}:{v}", json_str(k));
@@ -121,9 +127,10 @@ pub fn metrics_document(id: &str, cells: &[(String, String, &TraceReport)]) -> S
         let _ = writeln!(out, "      \"col\": {},", json_str(col));
         let _ = writeln!(
             out,
-            "      \"events_kept\": {}, \"events_dropped\": {},",
+            "      \"events_kept\": {}, \"events_dropped\": {}, \"frames_dropped\": {},",
             r.events.len(),
-            r.dropped_events
+            r.dropped_events,
+            r.dropped_frames
         );
         out.push_str("      \"histograms\": [");
         for (j, (name, h)) in r.hists.iter().enumerate() {
@@ -210,12 +217,29 @@ mod tests {
     }
 
     #[test]
+    fn chrome_document_carries_span_nesting() {
+        let mut t = Tracer::new(TraceConfig::default());
+        let read = t.push_span(100, "read", "op", &[("addr", 64)]);
+        t.push_span(110, "meta.fill", "meta", &[]);
+        t.pop_span(150);
+        t.pop_span(710);
+        let r = t.report().unwrap();
+        let doc = chrome_document(&[("cell".to_string(), &r)]);
+        assert!(doc.contains(&format!("\"span_id\":{read},\"parent_id\":0")));
+        assert!(doc.contains(&format!("\"parent_id\":{read}")));
+        // Child "X" event is time-contained in its parent for the flame view.
+        assert!(doc.contains("\"ph\":\"X\",\"ts\":110,\"dur\":40"));
+        assert!(doc.contains("\"ph\":\"X\",\"ts\":100,\"dur\":610"));
+    }
+
+    #[test]
     fn metrics_document_shape() {
         let r = sample_report();
         let doc =
             metrics_document("fig4", &[("canneal".to_string(), "amnt".to_string(), &r)]);
         assert!(doc.contains("\"id\": \"fig4\""));
         assert!(doc.contains("\"row\": \"canneal\""));
+        assert!(doc.contains("\"frames_dropped\": 0,"));
         assert!(doc.contains("\"name\": \"read.wait\""));
         assert!(doc.contains("\"p99\": 610"));
         assert!(doc.contains("\"epoch_fields\": [\"reads\"]"));

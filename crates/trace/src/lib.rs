@@ -49,6 +49,12 @@ pub use hist::LogHistogram;
 /// the recording path; unused slots carry an empty name).
 pub const MAX_EVENT_ARGS: usize = 3;
 
+/// Maximum nesting depth of the scoped span stack
+/// ([`Tracer::push_span`]/[`Tracer::pop_span`]). Frames pushed past this
+/// depth are dropped (and counted) rather than grown — the stack is O(1)
+/// memory no matter how deep the instrumentation recurses.
+pub const MAX_SPAN_DEPTH: usize = 16;
+
 /// Tracing knobs. All units are simulated cycles or element counts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceConfig {
@@ -77,6 +83,12 @@ pub struct TraceEvent {
     pub name: &'static str,
     /// Category ("op", "amnt", "fault", ...).
     pub cat: &'static str,
+    /// Span id, unique within one region of interest (ids restart from 1 at
+    /// [`Tracer::reset`], so they are stable across resets); 0 when the
+    /// event was recorded outside the tracer (absorbed strikes).
+    pub id: u64,
+    /// Id of the enclosing span on the stack at record time; 0 for roots.
+    pub parent: u64,
     /// Inline arguments; slots with an empty name are unused.
     pub args: [(&'static str, u64); MAX_EVENT_ARGS],
 }
@@ -94,6 +106,17 @@ fn pack_args(args: &[(&'static str, u64)]) -> [(&'static str, u64); MAX_EVENT_AR
         *slot = *pair;
     }
     out
+}
+
+/// One open frame on the scoped span stack: everything needed to emit the
+/// completed [`TraceEvent`] at pop time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct SpanFrame {
+    ts: u64,
+    name: &'static str,
+    cat: &'static str,
+    args: [(&'static str, u64); MAX_EVENT_ARGS],
+    id: u64,
 }
 
 /// One sampled epoch of the time-series: deltas of every registered field
@@ -234,6 +257,13 @@ pub struct Tracer {
     events: Vec<TraceEvent>,
     ring_head: usize,
     dropped_events: u64,
+    /// Scoped span stack: at most [`MAX_SPAN_DEPTH`] open frames; frames
+    /// pushed beyond that are counted in `dropped_frames` and tracked in
+    /// `overflow_depth` so the matching pops stay balanced.
+    stack: Vec<SpanFrame>,
+    overflow_depth: u64,
+    dropped_frames: u64,
+    next_id: u64,
     hists: Vec<(&'static str, LogHistogram)>,
     counters: Vec<(&'static str, u64)>,
     epoch_fields: Vec<&'static str>,
@@ -263,17 +293,105 @@ impl Tracer {
         self.last_ts
     }
 
-    /// Records a span of `dur` simulated cycles starting at `ts`.
+    /// Records a span of `dur` simulated cycles starting at `ts`. The span
+    /// is parented under the innermost open [`Tracer::push_span`] frame.
     pub fn span(&mut self, ts: u64, dur: u64, name: &'static str, cat: &'static str, args: &[(&'static str, u64)]) {
         if !self.enabled {
             return;
         }
-        self.push_event(TraceEvent { ts, dur, name, cat, args: pack_args(args) });
+        let parent = self.current_parent();
+        let id = self.alloc_id();
+        self.push_event(TraceEvent { ts, dur, name, cat, id, parent, args: pack_args(args) });
     }
 
-    /// Records an instant event at `ts`.
+    /// Records an instant event at `ts` (parented like [`Tracer::span`]).
     pub fn instant(&mut self, ts: u64, name: &'static str, cat: &'static str, args: &[(&'static str, u64)]) {
         self.span(ts, 0, name, cat, args);
+    }
+
+    /// Id of the innermost open span frame (0 when the stack is empty).
+    #[inline]
+    fn current_parent(&self) -> u64 {
+        self.stack.last().map(|f| f.id).unwrap_or(0)
+    }
+
+    fn alloc_id(&mut self) -> u64 {
+        self.next_id += 1;
+        self.next_id
+    }
+
+    /// Opens a scoped span at `ts`; the completed event is emitted by the
+    /// matching [`Tracer::pop_span`]. Every span or instant recorded while
+    /// the frame is open is parented under it. Returns the new span's id,
+    /// or 0 when the tracer is disabled or the frame was dropped because
+    /// the stack already holds [`MAX_SPAN_DEPTH`] frames (the drop is
+    /// counted; the matching pop is still balanced).
+    pub fn push_span(&mut self, ts: u64, name: &'static str, cat: &'static str, args: &[(&'static str, u64)]) -> u64 {
+        if !self.enabled {
+            return 0;
+        }
+        if self.stack.len() >= MAX_SPAN_DEPTH {
+            self.overflow_depth += 1;
+            self.dropped_frames += 1;
+            return 0;
+        }
+        let id = self.alloc_id();
+        self.stack.push(SpanFrame { ts, name, cat, args: pack_args(args), id });
+        id
+    }
+
+    /// Closes the innermost open span at `end_ts`, emitting its completed
+    /// event. A pop with no matching push is counted as a dropped frame
+    /// rather than panicking (unbalanced instrumentation must never take
+    /// the simulation down).
+    pub fn pop_span(&mut self, end_ts: u64) {
+        self.pop_span_with(end_ts, &[]);
+    }
+
+    /// Like [`Tracer::pop_span`], but fills the frame's unused argument
+    /// slots with `extra` pairs — for quantities only known at scope exit
+    /// (per-phase device writes, hash ops).
+    pub fn pop_span_with(&mut self, end_ts: u64, extra: &[(&'static str, u64)]) {
+        if !self.enabled {
+            return;
+        }
+        if self.overflow_depth > 0 {
+            self.overflow_depth -= 1;
+            return;
+        }
+        let Some(frame) = self.stack.pop() else {
+            self.dropped_frames += 1;
+            return;
+        };
+        let mut args = frame.args;
+        let mut extra_it = extra.iter();
+        for slot in args.iter_mut().filter(|(k, _)| k.is_empty()) {
+            match extra_it.next() {
+                Some(pair) => *slot = *pair,
+                None => break,
+            }
+        }
+        let parent = self.current_parent();
+        self.push_event(TraceEvent {
+            ts: frame.ts,
+            dur: end_ts.saturating_sub(frame.ts),
+            name: frame.name,
+            cat: frame.cat,
+            id: frame.id,
+            parent,
+            args,
+        });
+    }
+
+    /// Current open depth of the span stack, including dropped overflow
+    /// frames.
+    pub fn span_depth(&self) -> usize {
+        self.stack.len() + self.overflow_depth as usize
+    }
+
+    /// Frames lost to stack overflow or unbalanced pops so far.
+    pub fn dropped_frames(&self) -> u64 {
+        self.dropped_frames
     }
 
     fn push_event(&mut self, ev: TraceEvent) {
@@ -350,6 +468,10 @@ impl Tracer {
         self.events.clear();
         self.ring_head = 0;
         self.dropped_events = 0;
+        self.stack.clear();
+        self.overflow_depth = 0;
+        self.dropped_frames = 0;
+        self.next_id = 0;
         self.hists.clear();
         self.counters.clear();
         self.epoch_fields.clear();
@@ -370,6 +492,7 @@ impl Tracer {
         Some(TraceReport {
             events,
             dropped_events: self.dropped_events,
+            dropped_frames: self.dropped_frames,
             hists: self
                 .hists
                 .iter()
@@ -394,6 +517,8 @@ pub struct TraceReport {
     pub events: Vec<TraceEvent>,
     /// Events that fell out of the ring (recorded but not kept).
     pub dropped_events: u64,
+    /// Span-stack frames lost to overflow or unbalanced pops.
+    pub dropped_frames: u64,
     /// Histograms, in first-use order.
     pub hists: Vec<(String, LogHistogram)>,
     /// Counters, in first-use order.
@@ -410,13 +535,17 @@ impl TraceReport {
         self.hists.iter().find(|(k, _)| k == name).map(|(_, h)| h)
     }
 
-    /// Looks up a counter by name (0 when unregistered).
-    pub fn counter(&self, name: &str) -> u64 {
-        self.counters
-            .iter()
-            .find(|(k, _)| k == name)
-            .map(|(_, v)| *v)
-            .unwrap_or(0)
+    /// Looks up a counter by name. `None` means the counter was never
+    /// registered — deliberately distinct from `Some(0)` so diff and gate
+    /// tooling can't mistake a missing instrumentation site for a measured
+    /// zero.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
+    }
+
+    /// Whether a counter of this name was registered.
+    pub fn has_counter(&self, name: &str) -> bool {
+        self.counter(name).is_some()
     }
 
     /// Merges a leaf component's [`CompTrace`] counters (prefixed with
@@ -434,6 +563,8 @@ impl TraceReport {
                 dur: 0,
                 name: s.kind_name(),
                 cat: "fault",
+                id: 0,
+                parent: 0,
                 args: pack_args(&[
                     ("ordinal", s.ordinal),
                     ("kind", s.kind as u64),
@@ -443,12 +574,14 @@ impl TraceReport {
         }
     }
 
-    /// Sum of `field` over every epoch row (0 when the field is unknown).
-    pub fn epoch_sum(&self, field: &str) -> u64 {
-        match self.epoch_fields.iter().position(|f| f == field) {
-            Some(i) => self.epochs.iter().map(|r| r.values[i]).sum(),
-            None => 0,
-        }
+    /// Sum of `field` over every epoch row. `None` means the field was
+    /// never registered (distinct from a registered field that summed to
+    /// zero).
+    pub fn epoch_sum(&self, field: &str) -> Option<u64> {
+        self.epoch_fields
+            .iter()
+            .position(|f| f == field)
+            .map(|i| self.epochs.iter().map(|r| r.values[i]).sum())
     }
 }
 
@@ -499,8 +632,9 @@ mod tests {
         let r = t.report().unwrap();
         assert_eq!(r.hist("read.wait").unwrap().count(), 2);
         assert_eq!(r.hist("write.wait").unwrap().max(), 1);
-        assert_eq!(r.counter("ops"), 5);
-        assert_eq!(r.counter("missing"), 0);
+        assert_eq!(r.counter("ops"), Some(5));
+        assert_eq!(r.counter("missing"), None, "absent is not zero");
+        assert!(r.has_counter("ops") && !r.has_counter("missing"));
     }
 
     #[test]
@@ -510,8 +644,9 @@ mod tests {
         t.sample_epoch(1, 500_000, &[("reads", 7), ("writes", 0)]);
         let r = t.report().unwrap();
         assert_eq!(r.epoch_fields, vec!["reads", "writes"]);
-        assert_eq!(r.epoch_sum("reads"), 17);
-        assert_eq!(r.epoch_sum("writes"), 4);
+        assert_eq!(r.epoch_sum("reads"), Some(17));
+        assert_eq!(r.epoch_sum("writes"), Some(4));
+        assert_eq!(r.epoch_sum("nonexistent"), None, "absent is not zero");
         assert_eq!(r.epochs[1].epoch, 1);
     }
 
@@ -548,11 +683,104 @@ mod tests {
 
         let mut r = TraceReport::default();
         r.absorb_component("nvm", &c, 123, 9);
-        assert_eq!(r.counter("nvm.device_writes"), 3);
+        assert_eq!(r.counter("nvm.device_writes"), Some(3));
         let strike = &r.events[0];
         assert_eq!(strike.cat, "fault");
         assert_eq!(strike.name, "torn_first");
         let args: Vec<_> = strike.used_args().collect();
         assert_eq!(args, vec![("ordinal", 7), ("kind", 1), ("op_index", 9)]);
+    }
+
+    #[test]
+    fn nested_spans_carry_parent_ids() {
+        let mut t = Tracer::new(TraceConfig::default());
+        let read = t.push_span(100, "read", "op", &[("addr", 64)]);
+        assert!(read > 0);
+        let fetch = t.push_span(110, "meta.fill", "meta", &[]);
+        t.instant(120, "verify.enqueue", "verify", &[]);
+        t.pop_span(150); // meta.fill
+        t.pop_span(200); // read
+        t.span(300, 10, "flat", "op", &[]);
+
+        let r = t.report().unwrap();
+        assert_eq!(r.dropped_frames, 0);
+        let by_name = |n: &str| r.events.iter().find(|e| e.name == n).unwrap();
+        let ev_read = by_name("read");
+        let ev_fetch = by_name("meta.fill");
+        let ev_inst = by_name("verify.enqueue");
+        assert_eq!(ev_read.id, read);
+        assert_eq!(ev_read.parent, 0, "outermost span is a root");
+        assert_eq!((ev_read.ts, ev_read.dur), (100, 100));
+        assert_eq!(ev_fetch.id, fetch);
+        assert_eq!(ev_fetch.parent, read);
+        assert_eq!((ev_fetch.ts, ev_fetch.dur), (110, 40));
+        assert_eq!(ev_inst.parent, fetch, "instants nest under the open frame");
+        assert_eq!(by_name("flat").parent, 0, "stack is empty again");
+    }
+
+    #[test]
+    fn span_stack_depth_is_bounded_and_pops_stay_balanced() {
+        let mut t = Tracer::new(TraceConfig::default());
+        let mut ids = Vec::new();
+        for i in 0..(MAX_SPAN_DEPTH as u64 + 4) {
+            ids.push(t.push_span(i, "deep", "op", &[]));
+        }
+        assert_eq!(t.span_depth(), MAX_SPAN_DEPTH + 4);
+        assert_eq!(t.dropped_frames(), 4);
+        assert!(ids[MAX_SPAN_DEPTH..].iter().all(|&id| id == 0));
+        assert!(ids[..MAX_SPAN_DEPTH].iter().all(|&id| id > 0));
+        for i in 0..(MAX_SPAN_DEPTH as u64 + 4) {
+            t.pop_span(1000 + i);
+        }
+        assert_eq!(t.span_depth(), 0);
+        let r = t.report().unwrap();
+        assert_eq!(r.events.len(), MAX_SPAN_DEPTH, "only kept frames emit");
+        assert_eq!(r.dropped_frames, 4);
+    }
+
+    #[test]
+    fn unbalanced_pop_is_counted_not_fatal() {
+        let mut t = Tracer::new(TraceConfig::default());
+        t.pop_span(10);
+        assert_eq!(t.dropped_frames(), 1);
+        t.push_span(0, "s", "op", &[]);
+        t.pop_span(5);
+        let r = t.report().unwrap();
+        assert_eq!(r.events.len(), 1, "recording still works after the slip");
+        assert_eq!(r.dropped_frames, 1);
+    }
+
+    #[test]
+    fn span_ids_are_stable_across_reset() {
+        let mut t = Tracer::new(TraceConfig::default());
+        let a = t.push_span(0, "a", "op", &[]);
+        t.instant(1, "i", "op", &[]);
+        t.pop_span(2);
+        let before: Vec<(u64, u64)> =
+            t.report().unwrap().events.iter().map(|e| (e.id, e.parent)).collect();
+
+        t.reset();
+        let a2 = t.push_span(0, "a", "op", &[]);
+        t.instant(1, "i", "op", &[]);
+        t.pop_span(2);
+        let after: Vec<(u64, u64)> =
+            t.report().unwrap().events.iter().map(|e| (e.id, e.parent)).collect();
+
+        assert_eq!(a, a2, "id allocation restarts at reset");
+        assert_eq!(before, after, "identical recording => identical id tree");
+    }
+
+    #[test]
+    fn pop_span_with_fills_unused_arg_slots() {
+        let mut t = Tracer::new(TraceConfig::default());
+        t.push_span(0, "phase", "recovery", &[("k", 1)]);
+        t.pop_span_with(10, &[("writes", 7), ("hashes", 3), ("extra", 9)]);
+        let r = t.report().unwrap();
+        let args: Vec<_> = r.events[0].used_args().collect();
+        assert_eq!(
+            args,
+            vec![("k", 1), ("writes", 7), ("hashes", 3)],
+            "push args keep their slots; extras fill the rest and truncate"
+        );
     }
 }

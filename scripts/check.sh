@@ -53,13 +53,15 @@ echo "== fault sweep (crash-point, eviction-class + idempotence smoke) =="
 sweepdir="$(mktemp -d)"
 AMNT_FAULT_OPS="${AMNT_FAULT_OPS:-24}" AMNT_JOBS=1 \
     cargo run --release -p amnt-bench --bin fault_sweep || fail=1
-cp results/fault_sweep.json "$sweepdir"/ || fail=1
+cp results/fault_sweep.json results/fault_sweep.trace.json "$sweepdir"/ || fail=1
 AMNT_FAULT_OPS="${AMNT_FAULT_OPS:-24}" AMNT_JOBS=2 \
     cargo run --release -q -p amnt-bench --bin fault_sweep >/dev/null || fail=1
-if ! cmp -s "$sweepdir/fault_sweep.json" results/fault_sweep.json; then
-    echo "   fault sweep: artifact differs between AMNT_JOBS=1 and 2"
-    fail=1
-fi
+for f in fault_sweep.json fault_sweep.trace.json; do
+    if ! cmp -s "$sweepdir/$f" "results/$f"; then
+        echo "   fault sweep: $f differs between AMNT_JOBS=1 and 2"
+        fail=1
+    fi
+done
 rm -rf "$sweepdir"
 
 echo "== trace smoke (sidecar determinism + observer purity) =="
@@ -67,8 +69,11 @@ echo "== trace smoke (sidecar determinism + observer purity) =="
 # byte-identical across worker counts, and the main artifact must be
 # byte-identical with tracing on or off (tracing is a pure observer).
 tracedir="$(mktemp -d)"
+# 30k accesses so each AMNT cell's epoch series is dense enough for the
+# perfgate `series` rows (one subtree transition per cell with sampled
+# post-transition windows) — still ~2 s per run.
 trace_smoke() {
-    AMNT_ACCESSES=4000 AMNT_WARMUP=500 \
+    AMNT_ACCESSES=30000 AMNT_WARMUP=2000 \
         cargo run --release -q -p amnt-bench --bin trace_report >/dev/null || return 1
 }
 AMNT_JOBS=1 trace_smoke || fail=1
@@ -96,8 +101,18 @@ if ! cmp -s "$tracedir/trace_report.json" results/trace_report.json; then
 fi
 # Leave deterministic traced sidecars behind, not the quick-run artifact.
 AMNT_JOBS=1 trace_smoke || fail=1
+# Cross-run diff gate: the fresh sidecar against the AMNT_JOBS=1 copy
+# from the start of this block must be an *empty* diff at tol 0 (same
+# knobs, same bytes). trace_diff exits nonzero on any divergence; the
+# machine-readable report is archived next to the other artifacts.
+if ! cargo run --release -q -p amnt-bench --bin trace_diff -- \
+        results/trace_report.trace.json "$tracedir/trace_report.trace.json" \
+        --json > results/trace_diff.json; then
+    echo "   trace smoke: trace_diff found cross-run divergence"
+    fail=1
+fi
 rm -rf "$tracedir"
-[ "$fail" -eq 0 ] && echo "   trace smoke: sidecars deterministic, observer pure"
+[ "$fail" -eq 0 ] && echo "   trace smoke: sidecars deterministic, observer pure, cross-run diff empty"
 
 echo "== table4 recovery (2 TB simulated recovery smoke) =="
 # The simulated column runs a real crash + O(touched) recovery on an actual
