@@ -85,6 +85,23 @@ impl CacheConfig {
     pub fn sets(&self) -> usize {
         self.lines() / self.ways
     }
+
+    /// An even split of this capacity across `n` independent partitions
+    /// (one per shard domain): same ways, same line size, `1/n` of the
+    /// bytes, clamped so every partition keeps at least one full set.
+    /// `partitioned(1)` is the identity — a single shard sees exactly the
+    /// unpartitioned cache, which the N=1 bit-equivalence tests rely on.
+    pub fn partitioned(&self, n: usize) -> CacheConfig {
+        let n = n.max(1);
+        let set_bytes = self.ways * self.line_size;
+        let share = self.size_bytes / n;
+        // Round down to whole sets, but never below one set.
+        let size_bytes = (share / set_bytes).max(1) * set_bytes;
+        CacheConfig {
+            size_bytes,
+            ..*self
+        }
+    }
 }
 
 /// Error returned when a [`CacheConfig`] is internally inconsistent.
@@ -749,5 +766,21 @@ mod tests {
         assert_eq!(v1, v2, "xorshift victims are reproducible");
         assert!(!v1.is_empty());
         assert!(len1 <= 8, "capacity respected");
+    }
+
+    #[test]
+    fn partitioned_splits_evenly_and_is_identity_at_one() {
+        let cfg = CacheConfig::new(64 * 1024, 8, 64);
+        assert_eq!(cfg.partitioned(1), cfg, "N=1 must be the identity");
+        let quarter = cfg.partitioned(4);
+        assert_eq!(quarter.size_bytes, 16 * 1024);
+        assert_eq!(quarter.ways, 8);
+        assert_eq!(quarter.line_size, 64);
+        assert!(SetAssocCache::new(quarter).is_ok());
+        // A tiny cache over many shards clamps to one full set rather than
+        // producing an invalid geometry.
+        let tiny = CacheConfig::new(1024, 8, 64).partitioned(16);
+        assert_eq!(tiny.size_bytes, 8 * 64);
+        assert!(SetAssocCache::new(tiny).is_ok());
     }
 }

@@ -489,10 +489,22 @@ impl SecureMemory {
         }
     }
 
+    /// Read-only access to the device (traffic stats, WPQ lane, residency).
+    pub fn nvm(&self) -> &Nvm {
+        &self.nvm
+    }
+
     /// Direct access to the device — for integration tests that model
     /// physical attacks (bit flips, replay).
     pub fn nvm_mut(&mut self) -> &mut Nvm {
         &mut self.nvm
+    }
+
+    /// The on-chip root register's current image. This is the engine's root
+    /// of trust; the sharded facade folds one of these per shard into the
+    /// global epoch root, and nothing else crosses the shard boundary.
+    pub(crate) fn root_image(&self) -> &NodeBytes {
+        &self.root_register
     }
 
     /// Number of dirty (stale-in-NVM) metadata lines right now.
@@ -1892,6 +1904,7 @@ impl SecureMemory {
             // index the run had reached — enough to replay the crash point.
             let ts = self.tracer.last_ts();
             let op_index = self.stats.data_reads + self.stats.data_writes;
+            let lane = self.nvm.lane() as u64;
             for s in self.nvm.take_trace_strikes() {
                 self.tracer.instant(
                     ts,
@@ -1901,6 +1914,7 @@ impl SecureMemory {
                         ("ordinal", s.ordinal),
                         ("kind", s.kind as u64),
                         ("op_index", op_index),
+                        ("lane", lane),
                     ],
                 );
             }

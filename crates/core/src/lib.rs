@@ -45,6 +45,7 @@ mod hybrid;
 mod overhead;
 mod protocol;
 mod recovery;
+mod shard;
 mod stats;
 mod timing;
 mod untimed;
@@ -52,8 +53,9 @@ mod untimed;
 pub use config::{MemTiming, SecureMemoryConfig, WriteQueueConfig};
 pub use controller::{SecureMemory, BLOCK_SIZE};
 pub use error::{IntegrityError, RecoveryError};
-pub use fault::{FaultSweepConfig, SweepSummary};
+pub use fault::{FaultSweepConfig, ShardSweepConfig, ShardSweepSummary, SweepOp, SweepSummary};
 pub use hybrid::{HybridConfig, HybridMemory, Partition};
+pub use shard::{MergeReport, ShardedMemory};
 pub use overhead::{hardware_overhead, HardwareOverhead};
 pub use protocol::{
     AmntConfig, AnubisConfig, BatteryConfig, BmfConfig, HistoryBuffer, OsirisConfig,
@@ -62,4 +64,4 @@ pub use protocol::{
 pub use recovery::{table4_scenarios, RecoveryModel, RecoveryReport, RecoveryScenario};
 pub use stats::{ControllerStats, StatsSnapshot};
 pub use timing::{MemoryTimeline, TimelineStats, WearSummary};
-pub use untimed::UntimedMemory;
+pub use untimed::{ShardedUntimed, UntimedMemory};

@@ -1,0 +1,210 @@
+//! Cross-shard isolation proofs.
+//!
+//! A shard is a trust and recovery *domain*: tamper with shard A's media
+//! and it is A's audit/recovery machinery that must catch it; shard B must
+//! keep auditing clean, keep reading back its own data, and must never be
+//! the channel through which A's damage is observed — or healed. The
+//! shard-crossed fault sweep ([`amnt_core::fault::run_shard_sweep`]) proves
+//! the same property under power failure for every recoverable protocol;
+//! this suite isolates the tamper dimension with surgical single-bit flips.
+
+use amnt_core::fault::{run_shard_sweep, sweep_protocols, ShardSweepConfig};
+use amnt_core::{
+    AmntConfig, ProtocolKind, SecureMemoryConfig, ShardedMemory, ShardedUntimed, BLOCK_SIZE,
+};
+
+const MIB: u64 = 1024 * 1024;
+
+fn sharded(kind: ProtocolKind, shards: usize) -> ShardedMemory {
+    let cfg = SecureMemoryConfig::with_capacity(2 * MIB).with_metadata_cache_bytes(2048);
+    ShardedMemory::new(cfg, kind, shards).expect("sharded controller")
+}
+
+/// Writes a distinct pattern into every tenant and returns the lockstep
+/// oracle (tenant t's blocks hold `t`-tagged bytes).
+fn populate(mem: &mut ShardedMemory, shards: usize) -> ShardedUntimed {
+    let span = mem.span();
+    let mut oracle = ShardedUntimed::new(shards, span);
+    let mut t = 0;
+    for tenant in 0..shards as u64 {
+        for i in 0..12u64 {
+            let mut v = [tenant as u8 + 1; BLOCK_SIZE];
+            v[0] = i as u8;
+            let addr = tenant * span + i * BLOCK_SIZE as u64;
+            t = mem.write_block(t, addr, &v).expect("populate write");
+            oracle.write_block(addr, &v);
+        }
+    }
+    mem.flush_verify_queues().expect("clean queues");
+    oracle
+}
+
+#[test]
+fn tamper_in_shard_a_is_detected_by_a_and_invisible_to_b() {
+    // The six recoverable protocols the fault sweeps run — same knobs.
+    for (name, kind) in sweep_protocols() {
+        let mut mem = sharded(kind, 2);
+        let span = mem.span();
+        let oracle = populate(&mut mem, 2);
+        // Both shards audit clean before the attack.
+        assert_eq!(mem.audit_all().expect("audit"), true, "{name}: dirty start");
+
+        // Flip one *counter* bit in shard A (shard 0): freshness damage,
+        // which the offline audit re-derives the tree over and must expose.
+        let counter_addr = {
+            let g = mem.shard(0).expect("shard 0").geometry();
+            g.counter_addr(g.counter_index(0))
+        };
+        mem.shard_mut(0)
+            .expect("shard 0")
+            .nvm_mut()
+            .tamper_flip_bit(counter_addr + 7, 0);
+
+        // A's own audit flags it; B's audit still passes.
+        let a_clean = mem.audit_shard(0).expect("audit A runs");
+        assert!(!a_clean, "{name}: shard A's audit missed a counter flip");
+        assert!(
+            mem.audit_shard(1).expect("audit B runs"),
+            "{name}: tamper in A observed by B's audit"
+        );
+
+        // And one *data* bit: the audit vouches for the tree, so this one
+        // is the verified read path's to report, in shard A alone.
+        mem.shard_mut(0)
+            .expect("shard 0")
+            .nvm_mut()
+            .tamper_flip_bit(3 * BLOCK_SIZE as u64 + 9, 4);
+        assert!(
+            mem.read_block_verified(0, 3 * BLOCK_SIZE as u64).is_err(),
+            "{name}: shard A read back tampered bytes without error"
+        );
+
+        // B's data is untouched, byte for byte.
+        let b = oracle.tenant(1).expect("tenant 1");
+        for addr in b.addresses() {
+            let (data, _) = mem
+                .read_block_verified(0, span + addr)
+                .expect("B reads clean");
+            assert_eq!(data, b.read_block(addr), "{name}: B diverged at {addr:#x}");
+        }
+    }
+}
+
+#[test]
+fn recovering_shard_b_never_heals_shard_a() {
+    // Crash-recovering the *other* shard must not repair, rewrite, or even
+    // observe the victim's damage: the flip persists on A's media, B comes
+    // back bit-exact, and A still detects the damage itself afterwards.
+    for (name, kind) in sweep_protocols() {
+        let mut mem = sharded(kind, 2);
+        let oracle = populate(&mut mem, 2);
+        let span = mem.span();
+
+        // Counter damage in A: the flavour A's own audit provably catches.
+        let target = {
+            let g = mem.shard(0).expect("shard 0").geometry();
+            g.counter_addr(g.counter_index(0)) + 5
+        };
+        mem.shard_mut(0).expect("shard 0").nvm_mut().tamper_flip_bit(target, 6);
+        let a_media_before = mem.media_images().remove(0);
+
+        mem.crash_shard(1).expect("crash B");
+        mem.recover_shard(1).expect("recover B");
+
+        // B's recovery wrote only B's device: A's media (including the
+        // tampered line) is bit-identical to before.
+        assert_eq!(
+            mem.media_images().remove(0),
+            a_media_before,
+            "{name}: recovering B touched A's media"
+        );
+        // A still catches its own damage — nothing healed it behind the MAC.
+        assert!(
+            !mem.audit_shard(0).expect("audit A runs"),
+            "{name}: A's damage vanished across a shard boundary"
+        );
+        // And B reads back exactly its oracle.
+        let b = oracle.tenant(1).expect("tenant 1");
+        for addr in b.addresses() {
+            let (data, _) = mem.read_block_verified(0, span + addr).expect("B clean");
+            assert_eq!(data, b.read_block(addr), "{name}: B wrong at {addr:#x}");
+        }
+    }
+}
+
+#[test]
+fn counter_tamper_stays_inside_its_shard() {
+    // Flip a counter (freshness) bit in shard A: A's verified reads of the
+    // covered page must fail, while B — whose counters live on its own
+    // device — is oblivious. No shard reads another's counters.
+    for (name, kind) in sweep_protocols() {
+        let mut mem = sharded(kind, 2);
+        let oracle = populate(&mut mem, 2);
+        let span = mem.span();
+
+        let counter_addr = {
+            let a = mem.shard(0).expect("shard 0");
+            let g = a.geometry();
+            g.counter_addr(g.counter_index(0))
+        };
+        mem.shard_mut(0).expect("shard 0").nvm_mut().tamper_flip_bit(counter_addr, 1);
+
+        assert!(
+            !mem.audit_shard(0).expect("audit A runs"),
+            "{name}: counter flip in A not caught by A's audit"
+        );
+        let b = oracle.tenant(1).expect("tenant 1");
+        for addr in b.addresses() {
+            let (data, _) = mem.read_block_verified(0, span + addr).expect("B clean");
+            assert_eq!(data, b.read_block(addr), "{name}: B wrong at {addr:#x}");
+        }
+        assert!(
+            mem.audit_shard(1).expect("audit B runs"),
+            "{name}: counter tamper in A failed B's audit"
+        );
+    }
+}
+
+#[test]
+fn shard_crossed_sweep_is_clean_for_every_protocol() {
+    // The full machine-checked sweep, small config, all six protocols:
+    // zero silent corruptions, zero cross-shard disturbances, zero
+    // cross-shard heals, recovery in per-shard bounds, merges verifiable.
+    let cfg = ShardSweepConfig {
+        ops: 10,
+        ..ShardSweepConfig::default()
+    };
+    for (name, kind) in sweep_protocols() {
+        let s = run_shard_sweep(kind, &cfg).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(s.crash_points > 0, "{name}: no ordinals explored");
+        assert_eq!(s.silent, 0, "{name}: silent corruption");
+        assert_eq!(s.cross_shard_disturbances, 0, "{name}: cross-shard disturbance");
+        assert_eq!(s.cross_shard_heals, 0, "{name}: cross-shard heal");
+        assert_eq!(s.bounds_violations, 0, "{name}: recovery out of per-shard bounds");
+        assert_eq!(s.merge_failures, 0, "{name}: epoch merge failure");
+        assert_eq!(s.tamper_silent, 0, "{name}: silent tamper");
+        assert_eq!(
+            s.tamper_points,
+            s.tamper_detected + s.tamper_healed,
+            "{name}: tamper outcomes must partition"
+        );
+    }
+}
+
+#[test]
+fn victim_crash_mid_epoch_defers_the_merge_until_recovery() {
+    let kind = ProtocolKind::Amnt(AmntConfig::at_level(2));
+    let mut mem = sharded(kind, 4);
+    populate(&mut mem, 4);
+    let first = mem.epoch_merge().expect("healthy merge");
+    mem.crash_shard(2).expect("crash");
+    assert!(mem.epoch_merge().is_err(), "merge over a crashed shard");
+    assert_eq!(mem.epoch(), first.epoch, "failed merge must not advance freshness");
+    mem.recover_shard(2).expect("recover");
+    // New work lands after recovery, so the sub-roots move on.
+    mem.write_block(0, 0x40, &[0xEE; BLOCK_SIZE]).expect("post-recovery write");
+    let second = mem.epoch_merge().expect("post-recovery merge");
+    assert!(second.epoch > first.epoch, "freshness is monotone");
+    assert!(mem.verify_merge(&second));
+    assert!(!mem.verify_merge(&first), "stale epochs must not re-verify");
+}

@@ -121,7 +121,11 @@ depend on hasher seeding.
 Scope: crates/core/src/, crates/sim/src/, crates/workloads/src/,
 crates/trace/src/ — non-test code only. The trace crate is in scope
 because its artifacts carry the same byte-identity guarantee as the
-simulation results they describe.
+simulation results they describe. The sharded controller
+(crates/core/src/shard.rs) is explicitly in scope: multi-shard runs
+promise byte-identical artifacts at any AMNT_JOBS, so a nondeterminism
+source in shard routing or epoch merging breaks every downstream
+determinism gate at once.
 Remedy: use amnt_prng::Rng seeded from the run configuration; iterate
 BTreeMap (or sort keys first) wherever iteration order can reach a
 result, a statistic, or an eviction/prune decision.",
@@ -263,7 +267,11 @@ pub(crate) const R1_SCOPE: [&str; 4] = [
 ];
 
 /// Determinism scope for R2. The trace crate is included: its sidecar
-/// artifacts carry the same byte-identity guarantee as the results.
+/// artifacts carry the same byte-identity guarantee as the results. The
+/// `crates/core/src/` prefix deliberately covers the sharded controller
+/// (`shard.rs`) — multi-shard artifacts are byte-compared across worker
+/// counts, so shard routing and epoch merging must stay entropy-free
+/// (locked by `shard_module_is_in_r2_scope` below).
 const R2_SCOPE: [&str; 4] =
     ["crates/core/src/", "crates/sim/src/", "crates/workloads/src/", "crates/trace/src/"];
 
@@ -762,6 +770,24 @@ mod tests {
         assert!(has_issue_tag("// FIXME AMNT-3 tighten"));
         assert!(!has_issue_tag("// TODO: someday"));
         assert!(!has_issue_tag("// TODO(AMNT-): someday"));
+    }
+
+    #[test]
+    fn shard_module_is_in_r2_scope() {
+        // The sharded controller promises byte-identical artifacts at any
+        // worker count; every R2 nondeterminism source must fire there.
+        let src = "fn route() {\n\
+                   let r = thread_rng();\n\
+                   let t = std::time::Instant::now();\n\
+                   let m: HashMap<u64, u8> = HashMap::new();\n\
+                   for (k, v) in &m {}\n\
+                   }\n";
+        let findings = per_file_findings("crates/core/src/shard.rs", src);
+        let r2: Vec<_> = findings.iter().filter(|f| f.rule == "R2").collect();
+        assert_eq!(r2.len(), 3, "{findings:?}");
+        // Same source outside the determinism scope stays silent on R2.
+        let outside = per_file_findings("crates/bench/src/bin/shard_bench.rs", src);
+        assert!(outside.iter().all(|f| f.rule != "R2"), "{outside:?}");
     }
 
     #[test]

@@ -171,6 +171,11 @@ pub struct Nvm {
     /// while a hook is armed so sweeps can enumerate them as their own
     /// crash-point class.
     evict_seqs: Vec<u64>,
+    /// WPQ lane this device's write-pending queue drains on. Every device
+    /// owns exactly one lane, so its write ordinals form a per-lane domain;
+    /// sharded controllers stamp one lane per shard so strikes, wear and
+    /// crash points are attributable to the shard that issued them.
+    lane: u32,
     /// Set once an armed hook cuts power: every access fails until
     /// [`Nvm::crash`] power-cycles the device.
     powered_off: bool,
@@ -211,6 +216,7 @@ impl Nvm {
             fault_seq: 0,
             write_class: WriteClass::Protocol,
             evict_seqs: Vec::new(),
+            lane: 0,
             powered_off: false,
             group_depth: 0,
             group_charged: false,
@@ -353,9 +359,24 @@ impl Nvm {
     /// Device-write ordinals consumed since the hook was armed (an atomic
     /// group counts once). The crash-point coordinate system of
     /// [`FaultPlan`]. Restarts at zero on every [`Nvm::crash`], so after a
-    /// rearming crash this counts the *recovery-phase* domain.
+    /// rearming crash this counts the *recovery-phase* domain. Ordinals are
+    /// scoped to this device's WPQ [`Nvm::lane`]: two devices on different
+    /// lanes consume ordinals independently.
     pub fn device_write_ordinals(&self) -> u64 {
         self.fault_seq
+    }
+
+    /// The WPQ lane this device drains on (default `0`). A sharded
+    /// controller assigns one lane per shard, making every write ordinal,
+    /// eviction ordinal and fault strike attributable to its shard.
+    pub fn lane(&self) -> u32 {
+        self.lane
+    }
+
+    /// Assigns this device's WPQ lane. Purely an attribution tag: it never
+    /// changes device behaviour, timing or fault decisions.
+    pub fn set_lane(&mut self, lane: u32) {
+        self.lane = lane;
     }
 
     /// Declares the class of the writes the controller is about to issue
@@ -756,6 +777,29 @@ mod tests {
         nvm.crash();
         assert_eq!(nvm.generation(), 1);
         assert_eq!(nvm.read_block(0x40).unwrap(), [9u8; 64]);
+    }
+
+    #[test]
+    fn wpq_lanes_have_independent_ordinal_domains() {
+        // Two devices on different lanes: ordinals advance independently,
+        // and the lane tag survives a crash (it names the queue, not its
+        // contents).
+        let mut a = Nvm::new(NvmConfig::gib(1));
+        let mut b = Nvm::new(NvmConfig::gib(1));
+        a.set_lane(0);
+        b.set_lane(1);
+        a.arm_fault_hook(Box::new(FaultPlan::count_only()));
+        b.arm_fault_hook(Box::new(FaultPlan::count_only()));
+        for i in 0..5u64 {
+            a.write_block(i * 64, &[1u8; 64]).unwrap();
+        }
+        b.write_block(0, &[2u8; 64]).unwrap();
+        assert_eq!(a.device_write_ordinals(), 5);
+        assert_eq!(b.device_write_ordinals(), 1, "lane 1 counts alone");
+        assert_eq!((a.lane(), b.lane()), (0, 1));
+        b.crash();
+        assert_eq!(b.lane(), 1, "lane tag survives a power cycle");
+        assert_eq!(b.device_write_ordinals(), 0, "ordinal domain restarts");
     }
 
     #[test]

@@ -1,0 +1,110 @@
+//! Round-trip property suite for the binary trace format
+//! (`crates/workloads/src/trace_file.rs`).
+//!
+//! Three properties, each over seeded generated traces:
+//!
+//! 1. **Bit identity** — `write(read(write(events)))` produces the *same
+//!    bytes*, not merely the same events: the format has one canonical
+//!    encoding, so captured traces can be compared with `cmp`.
+//! 2. **Truncation rejection** — cutting the stream at *every* byte offset
+//!    yields `BadMagic`/`Truncated`, never a silently short event list.
+//! 3. **Tag rejection** — every byte that is not a defined tag, substituted
+//!    at a tag position, yields exactly `BadTag(byte)`.
+
+use amnt_workloads::{
+    read_trace, write_trace, Event, TraceFileError, TraceGen, TraceOp, WorkloadModel,
+};
+
+/// A seeded mixed trace (accesses + unmaps) plus hand-built edge events.
+fn sample_events(seed: u64) -> Vec<Event> {
+    let mut model = WorkloadModel::by_name("gcc").expect("catalogued");
+    model.drift_pages_per_10k = 300; // force unmap events into the mix
+    let mut events: Vec<Event> = TraceGen::new(&model, seed, 500).collect();
+    events.push(Event::Access(TraceOp {
+        vaddr: u64::MAX - 63,
+        think_cycles: u32::MAX,
+        is_write: true,
+    }));
+    events.push(Event::Access(TraceOp {
+        vaddr: 0,
+        think_cycles: 0,
+        is_write: false,
+    }));
+    events.push(Event::Unmap { vpn: 0 });
+    events.push(Event::Unmap { vpn: u64::MAX });
+    events
+}
+
+fn encode(events: &[Event]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_trace(&mut buf, events).expect("in-memory write");
+    buf
+}
+
+#[test]
+fn reserialisation_is_bit_identical() {
+    for seed in [1u64, 7, 0xDEAD] {
+        let events = sample_events(seed);
+        let bytes = encode(&events);
+        let decoded = read_trace(bytes.as_slice()).expect("well-formed");
+        assert_eq!(decoded, events, "decode(encode(x)) == x (seed {seed})");
+        let again = encode(&decoded);
+        assert_eq!(again, bytes, "encoding is canonical (seed {seed})");
+    }
+}
+
+#[test]
+fn truncation_at_every_byte_offset_is_rejected() {
+    let events = sample_events(3);
+    let bytes = encode(&events);
+    for cut in 0..bytes.len() {
+        match read_trace(&bytes[..cut]) {
+            Err(TraceFileError::BadMagic) => {
+                assert!(cut < 8, "BadMagic only inside the magic at cut {cut}");
+            }
+            Err(TraceFileError::Truncated) => {
+                assert!(cut >= 8, "Truncated only after the magic at cut {cut}");
+            }
+            Ok(_) => panic!("truncation at byte {cut} decoded successfully"),
+            Err(e) => panic!("unexpected error at cut {cut}: {e}"),
+        }
+    }
+    // The full stream still decodes (the loop above never consumed it).
+    assert_eq!(read_trace(bytes.as_slice()).expect("intact"), events);
+}
+
+#[test]
+fn every_undefined_tag_byte_is_rejected_as_bad_tag() {
+    // One-event trace: the tag byte sits immediately after magic + count.
+    let bytes = encode(&[Event::Unmap { vpn: 42 }]);
+    let tag_pos = 16;
+    for tag in 0..=255u8 {
+        if tag == 0x01 || tag == 0x02 {
+            continue; // Access / Unmap: defined
+        }
+        let mut corrupt = bytes.clone();
+        corrupt[tag_pos] = tag;
+        match read_trace(corrupt.as_slice()) {
+            Err(TraceFileError::BadTag(t)) => assert_eq!(t, tag),
+            other => panic!("tag {tag:#04x} not rejected as BadTag: {other:?}"),
+        }
+    }
+    // Tag 0x01 at that position now implies a truncated Access body.
+    let mut as_access = bytes.clone();
+    as_access[tag_pos] = 0x01;
+    assert!(matches!(
+        read_trace(as_access.as_slice()),
+        Err(TraceFileError::Truncated)
+    ));
+}
+
+#[test]
+fn declared_count_longer_than_stream_is_truncated() {
+    let mut bytes = encode(&sample_events(11));
+    // Inflate the declared count without appending events.
+    bytes[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+    assert!(matches!(
+        read_trace(bytes.as_slice()),
+        Err(TraceFileError::Truncated)
+    ));
+}

@@ -114,6 +114,25 @@ fi
 rm -rf "$tracedir"
 [ "$fail" -eq 0 ] && echo "   trace smoke: sidecars deterministic, observer pure, cross-run diff empty"
 
+echo "== sharded smoke (shard_bench determinism across worker counts) =="
+# The sharded controller runs one shard per executor job, so AMNT_JOBS is
+# a pure speed knob: the main artifact and the per-shard trace sidecar
+# must be byte-identical between 1 and 2 workers. The bin itself asserts
+# N=1 bit-equivalence to the unsharded SecureMemory and runs the
+# shard-crossed fault/tamper sweep at every N (perfgate pins the zero
+# rows). AMNT_SHARD_OPS scales the tenant mix (default 800).
+sharddir="$(mktemp -d)"
+AMNT_JOBS=1 cargo run --release -p amnt-bench --bin shard_bench || fail=1
+cp results/shard_bench.json results/shard_bench.trace.json "$sharddir"/ || fail=1
+AMNT_JOBS=2 cargo run --release -q -p amnt-bench --bin shard_bench >/dev/null || fail=1
+for f in shard_bench.json shard_bench.trace.json; do
+    if ! cmp -s "$sharddir/$f" "results/$f"; then
+        echo "   sharded smoke: $f differs between AMNT_JOBS=1 and 2"
+        fail=1
+    fi
+done
+rm -rf "$sharddir"
+
 echo "== table4 recovery (2 TB simulated recovery smoke) =="
 # The simulated column runs a real crash + O(touched) recovery on an actual
 # (sparse-frame) 2 TB device and reconciles against the analytical leaf
